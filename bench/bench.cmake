@@ -1,0 +1,35 @@
+# Included from the top-level CMakeLists (not add_subdirectory) so that
+# build/bench/ contains ONLY the benchmark binaries and
+# `for b in build/bench/*; do $b; done` runs them all cleanly.
+add_library(netadv_bench_common STATIC
+  ${CMAKE_SOURCE_DIR}/bench/common/bench_common.cpp)
+target_include_directories(netadv_bench_common PUBLIC
+  ${CMAKE_SOURCE_DIR}/src ${CMAKE_CURRENT_SOURCE_DIR})
+target_link_libraries(netadv_bench_common PUBLIC
+  netadv_core netadv_abr netadv_cc netadv_rl netadv_trace netadv_util)
+
+# netadv_add_bench(<name>) — one binary per reproduced table/figure.
+function(netadv_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
+  target_link_libraries(${name} PRIVATE
+    netadv_bench_common benchmark::benchmark Threads::Threads)
+  target_include_directories(${name} PRIVATE
+    ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/bench)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+netadv_add_bench(bench_fig1_abr_cdf)
+netadv_add_bench(bench_fig2_qoe_ratio)
+netadv_add_bench(bench_fig3_bb_weakness)
+netadv_add_bench(bench_fig4_adv_training)
+netadv_add_bench(bench_table1_cc_ranges)
+netadv_add_bench(bench_fig5_bbr_adversary)
+netadv_add_bench(bench_fig6_adversary_actions)
+netadv_add_bench(bench_loss_sweep)
+netadv_add_bench(bench_ablation_smoothing)
+netadv_add_bench(bench_ablation_online)
+netadv_add_bench(bench_micro)
+netadv_add_bench(bench_ext_new_targets)
+netadv_add_bench(bench_ablation_seeds)
+netadv_add_bench(bench_ext_fairness)

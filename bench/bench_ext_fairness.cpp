@@ -1,0 +1,143 @@
+// Extension: multi-flow fairness matrix on the shared-bottleneck substrate.
+// Section 5 floats adversaries for fairness-adjacent failures (incast, route
+// flapping); this bench validates the substrate those adversaries would
+// need, reproducing the textbook contention results: homogeneous loss-based
+// pairs share fairly, BBR starves loss-based flows on shallow buffers, and
+// buffer depth moves the balance.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/cubic.hpp"
+#include "cc/multiflow.hpp"
+#include "core/fairness_adversary.hpp"
+#include "core/trainer.hpp"
+#include "rl/ppo.hpp"
+#include "util/log.hpp"
+#include "cc/vivace.hpp"
+#include "common/bench_common.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+std::unique_ptr<cc::CcSender> make_sender(const std::string& kind) {
+  if (kind == "bbr") return std::make_unique<cc::BbrSender>();
+  if (kind == "copa") return std::make_unique<cc::CopaSender>();
+  if (kind == "vivace") return std::make_unique<cc::VivaceSender>();
+  if (kind == "cubic") return std::make_unique<cc::CubicSender>();
+  return std::make_unique<cc::RenoSender>();
+}
+
+struct PairResult {
+  double tput_a = 0.0;
+  double tput_b = 0.0;
+  double jain = 0.0;
+  double utilization = 0.0;
+};
+
+PairResult run_pair(const std::string& a, const std::string& b,
+                    double buffer_s, double sim_s) {
+  auto sa = make_sender(a);
+  auto sb = make_sender(b);
+  cc::LinkSim::Params link;
+  link.initial = {12.0, 30.0, 0.0};
+  link.max_queue_delay_s = buffer_s;
+  cc::MultiFlowRunner runner{{sa.get(), sb.get()}, link, 4242};
+  runner.run_until(10.0);
+  runner.collect();  // discard ramp-up
+  runner.run_until(10.0 + sim_s);
+  const auto interval = runner.collect();
+  const auto tput = interval.throughputs_mbps();
+  return {tput[0], tput[1], cc::jain_fairness_index(tput),
+          interval.aggregate_utilization()};
+}
+
+void run_fairness() {
+  std::printf("=== Extension: two-flow fairness on a shared 12 Mbps "
+              "bottleneck ===\n");
+  const double sim_s = util::bench_scale() >= 0.5 ? 30.0 : 10.0;
+  const std::vector<std::pair<std::string, std::string>> pairs{
+      {"reno", "reno"},   {"cubic", "cubic"}, {"bbr", "bbr"},
+      {"bbr", "cubic"},   {"copa", "cubic"},  {"vivace", "cubic"},
+      {"bbr", "copa"},
+  };
+
+  std::vector<std::vector<double>> csv_rows;
+  for (const double buffer_s : {0.05, 0.25}) {
+    std::printf("\nbottleneck buffer = %.0f ms of queueing:\n",
+                buffer_s * 1000.0);
+    const std::vector<int> widths{18, 10, 10, 8, 8};
+    print_rule(widths);
+    print_row({"pair", "flow A", "flow B", "jain", "util"}, widths);
+    print_rule(widths);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const auto& [a, b] = pairs[i];
+      const PairResult r = run_pair(a, b, buffer_s, sim_s);
+      print_row({a + " vs " + b, fmt(r.tput_a, 2), fmt(r.tput_b, 2),
+                 fmt(r.jain, 2), fmt(r.utilization, 2)}, widths);
+      csv_rows.push_back({buffer_s, static_cast<double>(i), r.tput_a,
+                          r.tput_b, r.jain, r.utilization});
+    }
+    print_rule(widths);
+  }
+  write_csv("ext_fairness.csv",
+            {"buffer_s", "pair_index", "tput_a_mbps", "tput_b_mbps", "jain",
+             "utilization"},
+            csv_rows);
+
+  // The trained fairness adversary (Section 5's incast/fairness direction):
+  // can it widen the gap between two *identical* BBR flows beyond what a
+  // benign steady link shows?
+  {
+    const std::size_t steps = util::scaled_steps(150000, 8192);
+    util::log_info("fairness: training fairness adversary (%zu steps)", steps);
+    core::FairnessAdversaryEnv env;
+    rl::PpoAgent adversary{env.observation_size(), env.action_spec(),
+                           core::cc_adversary_ppo_config(), 4243};
+    adversary.train(env, steps);
+
+    util::Rng rng{4244};
+    rl::Vec obs = env.reset(rng);
+    double jain_sum = 0.0;
+    std::size_t n = 0;
+    rl::StepResult r{};
+    while (!r.done) {
+      r = env.step(adversary.act_stochastic(obs, rng), rng);
+      obs = r.observation;
+      jain_sum += env.last_jain();
+      ++n;
+    }
+    const double adv_jain = jain_sum / static_cast<double>(n);
+    const PairResult benign = run_pair("bbr", "bbr", 0.25, sim_s);
+    std::printf("\nfairness adversary vs two identical BBR flows:\n");
+    std::printf("  mean Jain index under the adversary: %.3f\n", adv_jain);
+    std::printf("  Jain index on a benign steady link:  %.3f\n", benign.jain);
+    std::printf("  adversary reduces fairness of identical flows: %s\n",
+                adv_jain < benign.jain - 0.02 ? "YES" : "NO");
+  }
+
+  const PairResult homo = run_pair("reno", "reno", 0.25, sim_s);
+  const PairResult mixed = run_pair("bbr", "cubic", 0.05, sim_s);
+  std::printf("\nshape checks:\n");
+  std::printf("  homogeneous Reno pair is fair (jain > 0.85):   %s (%.2f)\n",
+              homo.jain > 0.85 ? "YES" : "NO", homo.jain);
+  std::printf("  BBR starves Cubic on a shallow buffer:         %s "
+              "(%.2f vs %.2f Mbps)\n",
+              mixed.tput_a > 1.5 * mixed.tput_b ? "YES" : "NO", mixed.tput_a,
+              mixed.tput_b);
+}
+
+void BM_Fairness(benchmark::State& state) {
+  for (auto _ : state) run_fairness();
+}
+BENCHMARK(BM_Fairness)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

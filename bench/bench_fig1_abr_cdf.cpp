@@ -1,0 +1,113 @@
+// Figure 1 — "Performance of different ABR algorithms for traces by
+// adversary trained against MPC (a), against Pensieve (b), and on randomly
+// generated traces (c)."
+//
+// Reproduction: train Pensieve (mixed corpus), train one adversary against
+// MPC and one against Pensieve, record 200 traces per adversary plus 200
+// random traces, replay every protocol on every set, and report the QoE
+// distribution per (set, protocol). Expected shape: each adversary's traces
+// hurt *its* target far more than the other protocols; random traces hurt
+// nobody in particular.
+//
+// Artifacts: bench_out/fig1_qoe_{mpc,pensieve,random}_traces.csv (per-trace
+// QoE for each protocol) and fig1{a,b,c}_cdf.csv (CDF series as plotted).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+void emit_set(const char* label, const char* file_tag,
+              const std::vector<std::vector<double>>& qoe_per_protocol) {
+  // Per-trace QoE artifact (consumed by bench_fig2).
+  std::vector<std::vector<double>> rows;
+  const std::size_t n = qoe_per_protocol[0].size();
+  for (std::size_t t = 0; t < n; ++t) {
+    rows.push_back({qoe_per_protocol[0][t], qoe_per_protocol[1][t],
+                    qoe_per_protocol[2][t]});
+  }
+  write_csv(std::string("fig1_qoe_") + file_tag + "_traces.csv",
+            {"pensieve", "mpc", "bb"}, rows);
+
+  // CDF artifact, concatenated long-form: protocol index, qoe, cdf.
+  std::vector<std::vector<double>> cdf_rows;
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (const auto& point : util::empirical_cdf(qoe_per_protocol[p])) {
+      cdf_rows.push_back({static_cast<double>(p), point.value,
+                          point.cumulative_probability});
+    }
+  }
+  write_csv(std::string("fig1_cdf_") + file_tag + ".csv",
+            {"protocol_index", "qoe", "cdf"}, cdf_rows);
+
+  std::printf("\n%s (n=%zu traces)\n", label, n);
+  const std::vector<int> widths{10, 8, 8, 8, 8, 8};
+  print_rule(widths);
+  print_row({"protocol", "mean", "p5", "p25", "p50", "p75"}, widths);
+  print_rule(widths);
+  for (std::size_t p = 0; p < 3; ++p) {
+    const auto& qoe = qoe_per_protocol[p];
+    print_row({kFig1Protocols[p], fmt(util::mean(qoe)),
+               fmt(util::percentile(qoe, 5)), fmt(util::percentile(qoe, 25)),
+               fmt(util::percentile(qoe, 50)), fmt(util::percentile(qoe, 75))},
+              widths);
+  }
+  print_rule(widths);
+}
+
+void run_fig1() {
+  std::printf("=== Figure 1: per-video QoE of ABR protocols on adversarial "
+              "and random traces ===\n");
+  const Fig1Artifacts art = build_fig1_artifacts();
+
+  save_trace_set("fig1_traces_vs_mpc.csv", art.traces_vs_mpc);
+  save_trace_set("fig1_traces_vs_pensieve.csv", art.traces_vs_pensieve);
+  save_trace_set("fig1_traces_random.csv", art.traces_random);
+
+  emit_set("(a) traces targeting MPC", "mpc", art.qoe_on_mpc_traces);
+  emit_set("(b) traces targeting Pensieve", "pensieve",
+           art.qoe_on_pensieve_traces);
+  emit_set("(c) random traces", "random", art.qoe_on_random_traces);
+
+  // The paper's qualitative claims, checked numerically (means plus the
+  // paper's per-trace statistic: the targeted protocol is worse on >75% of
+  // the adversary's traces).
+  const double mpc_on_own = util::mean(art.qoe_on_mpc_traces[1]);
+  const double pen_on_mpc = util::mean(art.qoe_on_mpc_traces[0]);
+  const double pen_on_own = util::mean(art.qoe_on_pensieve_traces[0]);
+  const double mpc_on_pen = util::mean(art.qoe_on_pensieve_traces[1]);
+  auto win_fraction = [](const std::vector<double>& other,
+                         const std::vector<double>& targeted) {
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      if (targeted[i] < other[i]) ++wins;
+    }
+    return 100.0 * static_cast<double>(wins) /
+           static_cast<double>(other.size());
+  };
+  std::printf("\nshape checks:\n");
+  std::printf("  MPC worse than Pensieve on MPC-targeted traces:      %s "
+              "(mean %.3f vs %.3f; targeted worse on %.0f%% of traces)\n",
+              mpc_on_own < pen_on_mpc ? "YES" : "NO", mpc_on_own, pen_on_mpc,
+              win_fraction(art.qoe_on_mpc_traces[0], art.qoe_on_mpc_traces[1]));
+  std::printf("  Pensieve worse than MPC on Pensieve-targeted traces: %s "
+              "(mean %.3f vs %.3f; targeted worse on %.0f%% of traces)\n",
+              pen_on_own < mpc_on_pen ? "YES" : "NO", pen_on_own, mpc_on_pen,
+              win_fraction(art.qoe_on_pensieve_traces[1],
+                           art.qoe_on_pensieve_traces[0]));
+}
+
+void BM_Fig1(benchmark::State& state) {
+  for (auto _ : state) run_fig1();
+}
+BENCHMARK(BM_Fig1)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

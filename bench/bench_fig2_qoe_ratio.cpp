@@ -1,0 +1,151 @@
+// Figure 2 — "Our adversarial framework generates bad examples for
+// different protocols where a better QoE is attainable": the QoE ratio
+// other-protocol / targeted-protocol per trace, reported as mean, 95th
+// percentile and max over each trace set. The paper finds ratios up to
+// 1.38x (MPC over Pensieve on MPC-targeted... strictly: MPC traces) and
+// 2.55x (Pensieve over MPC), with random traces giving smaller ratios.
+//
+// Our adversary is stronger than the paper's and can push the targeted
+// protocol's QoE below zero, where a raw ratio loses meaning; ratios are
+// therefore computed on QoE clamped from below at 0.3 — the per-chunk QoE
+// of streaming the lowest rung smoothly, i.e. the worst *reasonable*
+// service level (documented in EXPERIMENTS.md). We additionally report the
+// paper's robust statistic: the fraction of traces on which the targeted
+// protocol performed worse than the other protocol (paper: over 75%).
+//
+// Reuses bench_fig1's per-trace QoE CSVs when present (run bench_fig1
+// first); otherwise rebuilds the whole pipeline.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/bench_common.hpp"
+#include "util/csv.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+constexpr double kQoeFloor = 0.3;
+
+struct QoeSet {
+  std::vector<double> pensieve;
+  std::vector<double> mpc;
+  std::vector<double> bb;
+};
+
+bool load_set(const std::string& tag, QoeSet& out) {
+  const std::string path =
+      util::bench_output_dir() + "/fig1_qoe_" + tag + "_traces.csv";
+  if (!std::filesystem::exists(path)) return false;
+  const util::CsvTable table = util::read_csv(path);
+  if (table.header.size() != 3) return false;
+  for (const auto& row : table.rows) {
+    out.pensieve.push_back(row[0]);
+    out.mpc.push_back(row[1]);
+    out.bb.push_back(row[2]);
+  }
+  return !out.pensieve.empty();
+}
+
+QoeSet from_matrix(const std::vector<std::vector<double>>& m) {
+  return {m[0], m[1], m[2]};
+}
+
+std::vector<double> ratios(const std::vector<double>& numer,
+                           const std::vector<double>& denom) {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < numer.size(); ++i) {
+    out.push_back(std::max(numer[i], kQoeFloor) /
+                  std::max(denom[i], kQoeFloor));
+  }
+  return out;
+}
+
+void run_fig2() {
+  std::printf("=== Figure 2: QoE ratio (other protocol / targeted protocol) "
+              "===\n");
+
+  QoeSet on_mpc;
+  QoeSet on_pen;
+  QoeSet on_rnd;
+  if (!(load_set("mpc", on_mpc) && load_set("pensieve", on_pen) &&
+        load_set("random", on_rnd))) {
+    std::printf("(fig1 artifacts not found; rebuilding pipeline)\n");
+    const Fig1Artifacts art = build_fig1_artifacts();
+    on_mpc = from_matrix(art.qoe_on_mpc_traces);
+    on_pen = from_matrix(art.qoe_on_pensieve_traces);
+    on_rnd = from_matrix(art.qoe_on_random_traces);
+  } else {
+    std::printf("(reusing bench_fig1 artifacts from %s)\n",
+                util::bench_output_dir().c_str());
+  }
+
+  struct Bar {
+    const char* label;
+    std::vector<double> r;
+  };
+  // The paper's four bars: {numerator/denominator} x {trace set}.
+  std::vector<Bar> bars;
+  bars.push_back({"Pensieve/MPC on MPC-targeted traces",
+                  ratios(on_mpc.pensieve, on_mpc.mpc)});
+  bars.push_back({"MPC/Pensieve on Pensieve-targeted traces",
+                  ratios(on_pen.mpc, on_pen.pensieve)});
+  bars.push_back({"Pensieve/MPC on random traces",
+                  ratios(on_rnd.pensieve, on_rnd.mpc)});
+  bars.push_back({"MPC/Pensieve on random traces",
+                  ratios(on_rnd.mpc, on_rnd.pensieve)});
+
+  const std::vector<int> widths{42, 8, 8, 8};
+  print_rule(widths);
+  print_row({"configuration", "mean", "p95", "max"}, widths);
+  print_rule(widths);
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t i = 0; i < bars.size(); ++i) {
+    const auto& bar = bars[i];
+    const double mean_r = util::mean(bar.r);
+    const double p95 = util::percentile(bar.r, 95);
+    const double max_r = *std::max_element(bar.r.begin(), bar.r.end());
+    print_row({bar.label, fmt(mean_r, 2), fmt(p95, 2), fmt(max_r, 2)}, widths);
+    csv_rows.push_back({static_cast<double>(i), mean_r, p95, max_r});
+  }
+  print_rule(widths);
+  write_csv("fig2_qoe_ratio.csv", {"bar_index", "mean", "p95", "max"},
+            csv_rows);
+
+  // Win fractions: how often the targeted protocol ended up strictly worse.
+  auto win_fraction = [](const std::vector<double>& other,
+                         const std::vector<double>& targeted) {
+    std::size_t wins = 0;
+    for (std::size_t i = 0; i < other.size(); ++i) {
+      if (targeted[i] < other[i]) ++wins;
+    }
+    return static_cast<double>(wins) / static_cast<double>(other.size());
+  };
+  const double frac_mpc = win_fraction(on_mpc.pensieve, on_mpc.mpc);
+  const double frac_pen = win_fraction(on_pen.mpc, on_pen.pensieve);
+  std::printf("\ntargeted protocol worse than the other protocol on:\n");
+  std::printf("  MPC-targeted traces:      %.0f%% (paper: >75%%)\n",
+              100.0 * frac_mpc);
+  std::printf("  Pensieve-targeted traces: %.0f%% (paper: >75%%)\n",
+              100.0 * frac_pen);
+
+  const bool targeted_bigger =
+      util::mean(bars[0].r) > util::mean(bars[2].r) &&
+      util::mean(bars[1].r) > util::mean(bars[3].r);
+  std::printf("\nshape check: targeted ratios exceed random-trace ratios: "
+              "%s\n", targeted_bigger ? "YES" : "NO");
+}
+
+void BM_Fig2(benchmark::State& state) {
+  for (auto _ : state) run_fig2();
+}
+BENCHMARK(BM_Fig2)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// Figure 4 — "Improvements in QoE with adversarial training in the mean
+// (top) and in the 5th percentile (bottom)".
+//
+// For each training dataset (broadband-like, 3G-like) we train Pensieve
+// three ways — without adversarial traces, with adversarial traces injected
+// after 90% of training, and after 70% — then test every model on held-out
+// traces from both datasets. The paper's shape: adversarial training helps
+// across test sets, the biggest gains are in the 5th percentile and in the
+// broadband-train/3G-test cell, and the earlier (70%) injection generalizes
+// best.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "abr/pensieve.hpp"
+#include "abr/runner.hpp"
+#include "common/bench_common.hpp"
+#include "core/trainer.hpp"
+#include "trace/generators.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+struct Cell {
+  double mean_qoe = 0.0;
+  double p5_qoe = 0.0;
+};
+
+void run_fig4() {
+  std::printf("=== Figure 4: adversarial training of Pensieve ===\n");
+  abr::VideoManifest::Params mp;
+  mp.size_variation = 0.0;
+  const abr::VideoManifest m{mp};
+
+  const std::size_t protocol_steps = util::scaled_steps(150000, 8192);
+  const std::size_t adversary_steps = util::scaled_steps(80000, 4096);
+  const std::size_t corpus_size = 100;
+  const std::size_t test_size = 50;
+
+  trace::FccLikeGenerator broadband{{}};
+  trace::Hsdpa3gLikeGenerator threeg{{}};
+  const std::vector<std::pair<const char*, const trace::TraceGenerator*>>
+      datasets{{"broadband", &broadband}, {"3g", &threeg}};
+
+  util::Rng data_rng{404};
+  std::vector<std::vector<trace::Trace>> train_corpora;
+  std::vector<std::vector<trace::Trace>> test_corpora;
+  for (const auto& [name, gen] : datasets) {
+    train_corpora.push_back(gen->generate_many(corpus_size, data_rng));
+    test_corpora.push_back(gen->generate_many(test_size, data_rng));
+  }
+
+  const std::vector<std::pair<const char*, double>> treatments{
+      {"without-adv", 1.0}, {"adv-at-90", 0.9}, {"adv-at-70", 0.7}};
+
+  // results[train_set][treatment][test_set]
+  Cell results[2][3][2];
+  for (std::size_t d = 0; d < datasets.size(); ++d) {
+    for (std::size_t t = 0; t < treatments.size(); ++t) {
+      util::log_info("fig4: training pensieve on %s, treatment %s",
+                     datasets[d].first, treatments[t].first);
+      abr::PensieveEnv env{m, train_corpora[d]};
+      rl::PpoAgent pensieve = abr::make_pensieve_agent(
+          m, 404 + 10 * d + t);
+      core::RobustifyConfig cfg;
+      cfg.protocol_steps = protocol_steps;
+      cfg.inject_fraction = treatments[t].second;
+      cfg.adversary_steps = adversary_steps;
+      cfg.adversarial_traces = 100;
+      cfg.seed = 404 + 10 * d + t;
+      core::robustify_pensieve(pensieve, env, cfg);
+
+      abr::PensievePolicy policy{pensieve};
+      for (std::size_t e = 0; e < datasets.size(); ++e) {
+        const auto qoe = abr::qoe_per_trace(policy, m, test_corpora[e]);
+        results[d][t][e] = {util::mean(qoe), util::percentile(qoe, 5)};
+      }
+    }
+  }
+
+  for (const char* panel : {"mean", "p5"}) {
+    std::printf("\n%s\n", panel == std::string("mean")
+                                ? "Mean QoE (top panel)"
+                                : "5th-percentile QoE (bottom panel)");
+    const std::vector<int> widths{26, 13, 13, 13};
+    print_rule(widths);
+    print_row({"train/test", "without-adv", "adv-at-90", "adv-at-70"}, widths);
+    print_rule(widths);
+    for (std::size_t d = 0; d < 2; ++d) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        std::vector<std::string> cells{std::string(datasets[d].first) +
+                                       " train / " + datasets[e].first +
+                                       " test"};
+        for (std::size_t t = 0; t < 3; ++t) {
+          const Cell& c = results[d][t][e];
+          cells.push_back(fmt(panel == std::string("mean") ? c.mean_qoe
+                                                           : c.p5_qoe));
+        }
+        print_row(cells, widths);
+      }
+    }
+    print_rule(widths);
+  }
+
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (std::size_t t = 0; t < 3; ++t) {
+      for (std::size_t e = 0; e < 2; ++e) {
+        csv_rows.push_back({static_cast<double>(d), static_cast<double>(t),
+                            static_cast<double>(e), results[d][t][e].mean_qoe,
+                            results[d][t][e].p5_qoe});
+      }
+    }
+  }
+  write_csv("fig4_adv_training.csv",
+            {"train_set", "treatment", "test_set", "mean_qoe", "p5_qoe"},
+            csv_rows);
+
+  // Shape checks: count cells where adversarial training helped.
+  int mean_wins = 0;
+  int p5_wins = 0;
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (std::size_t e = 0; e < 2; ++e) {
+      const Cell& base = results[d][0][e];
+      const Cell best_adv{
+          std::max(results[d][1][e].mean_qoe, results[d][2][e].mean_qoe),
+          std::max(results[d][1][e].p5_qoe, results[d][2][e].p5_qoe)};
+      if (best_adv.mean_qoe > base.mean_qoe) ++mean_wins;
+      if (best_adv.p5_qoe > base.p5_qoe) ++p5_wins;
+    }
+  }
+  std::printf("\nshape checks: adversarial training improved mean QoE in "
+              "%d/4 cells, 5th-percentile QoE in %d/4 cells\n",
+              mean_wins, p5_wins);
+}
+
+void BM_Fig4(benchmark::State& state) {
+  for (auto _ : state) run_fig4();
+}
+BENCHMARK(BM_Fig4)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

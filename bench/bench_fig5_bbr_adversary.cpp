@@ -1,0 +1,106 @@
+// Figure 5 — "The BBR congestion control protocol running on a 30-second
+// adversarial trace": the adversary, constrained to Table 1's ranges,
+// reduces BBR's average throughput to well below link capacity by attacking
+// its infrequent probing.
+//
+// Pipeline: train the one-hidden-layer-of-4 adversary with PPO (~600k
+// action/observation pairs nominal, scaled by NETADV_SCALE), run one online
+// 30 s episode, and print throughput vs. bandwidth over time. The trained
+// agent checkpoint is saved for bench_fig6 to reuse.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/bench_common.hpp"
+#include "core/cc_adversary.hpp"
+#include "core/recorder.hpp"
+#include "core/trainer.hpp"
+#include "rl/checkpoint.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+const char* kCheckpointFile = "cc_adversary_checkpoint.txt";
+
+rl::PpoAgent obtain_cc_adversary(core::CcAdversaryEnv& env) {
+  const std::string path = util::bench_output_dir() + "/" + kCheckpointFile;
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     core::cc_adversary_ppo_config(), 505};
+  if (std::filesystem::exists(path)) {
+    try {
+      rl::load_checkpoint(agent, path);
+      std::printf("(loaded trained CC adversary from %s)\n", path.c_str());
+      return agent;
+    } catch (const std::exception& e) {
+      std::printf("(stale checkpoint ignored: %s)\n", e.what());
+    }
+  }
+  const std::size_t steps = util::scaled_steps(600000, 8192);
+  util::log_info("fig5: training CC adversary vs BBR (%zu pairs of 30 ms)",
+                 steps);
+  agent.train(env, steps);
+  rl::save_checkpoint(agent, path);
+  return agent;
+}
+
+void run_fig5() {
+  std::printf("=== Figure 5: BBR on a 30-second adversarial trace ===\n");
+  core::CcAdversaryEnv env;
+  rl::PpoAgent adversary = obtain_cc_adversary(env);
+
+  // Online episode with exploration noise (the paper's Figure-5 runs were
+  // produced by the online adversary; its traces are not identical across
+  // replays — Section 4 discusses exactly this).
+  util::Rng rng{506};
+  const core::CcEpisodeRecord record =
+      core::record_cc_episode(adversary, env, rng, /*deterministic=*/false);
+
+  const std::vector<int> widths{8, 12, 14, 12};
+  print_rule(widths);
+  print_row({"time_s", "bw_mbps", "tput_mbps", "util"}, widths);
+  print_rule(widths);
+  std::vector<std::vector<double>> csv_rows;
+  const double epoch = env.params().epoch_s;
+  for (std::size_t i = 0; i < record.bandwidth_mbps.size(); ++i) {
+    const double t = static_cast<double>(i + 1) * epoch;
+    if (i % 33 == 0) {  // ~1 s granularity in the printed table
+      print_row({fmt(t, 1), fmt(record.bandwidth_mbps[i], 1),
+                 fmt(record.throughput_mbps[i], 1),
+                 fmt(record.utilization[i], 2)},
+                widths);
+    }
+    csv_rows.push_back({t, record.bandwidth_mbps[i],
+                        record.throughput_mbps[i], record.utilization[i],
+                        record.latency_ms[i], record.loss_rate[i]});
+  }
+  print_rule(widths);
+  write_csv("fig5_bbr_timeline.csv",
+            {"time_s", "bandwidth_mbps", "throughput_mbps", "utilization",
+             "latency_ms", "loss_rate"},
+            csv_rows);
+
+  const double mean_loss = util::mean(record.loss_rate);
+  std::printf("\nmean utilization over the episode: %.1f%% of link capacity "
+              "(paper: 45-65%%)\n", 100.0 * record.mean_utilization);
+  std::printf("mean loss rate the adversary chose: %.2f%% (paper: ~0)\n",
+              100.0 * mean_loss);
+  std::printf("shape check: adversary holds BBR well below capacity: %s\n",
+              record.mean_utilization < 0.75 ? "YES" : "NO");
+
+  // Sanity contrast: the same BBR on the best *fixed* conditions in range
+  // utilizes the link well (see bench_table1).
+}
+
+void BM_Fig5(benchmark::State& state) {
+  for (auto _ : state) run_fig5();
+}
+BENCHMARK(BM_Fig5)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+// Figure 6 — "The actions of the BBR adversary over 30 seconds (1000
+// intervals of 30 ms) without training noise. Every 10 seconds, when BBR
+// runs its probing phase, the adversary suddenly varies bandwidth and
+// latency."
+//
+// Reproduction: load (or train) the Figure-5 adversary, roll one
+// *deterministic* episode (raw policy outputs, before exploration noise and
+// clipping), align the action series with BBR's state machine, and measure
+// how much more the actions move during PROBE_RTT/probe phases than during
+// cruise. Loss should stay near its floor throughout.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "cc/bbr.hpp"
+#include "common/bench_common.hpp"
+#include "core/cc_adversary.hpp"
+#include "core/recorder.hpp"
+#include "core/trainer.hpp"
+#include "rl/checkpoint.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::bench;
+
+rl::PpoAgent obtain_cc_adversary(core::CcAdversaryEnv& env) {
+  const std::string path =
+      util::bench_output_dir() + "/cc_adversary_checkpoint.txt";
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     core::cc_adversary_ppo_config(), 505};
+  if (std::filesystem::exists(path)) {
+    try {
+      rl::load_checkpoint(agent, path);
+      std::printf("(loaded trained CC adversary from %s)\n", path.c_str());
+      return agent;
+    } catch (const std::exception& e) {
+      std::printf("(stale checkpoint ignored: %s)\n", e.what());
+    }
+  }
+  const std::size_t steps = util::scaled_steps(600000, 8192);
+  util::log_info("fig6: training CC adversary vs BBR (%zu pairs)", steps);
+  agent.train(env, steps);
+  rl::save_checkpoint(agent, path);
+  return agent;
+}
+
+const char* mode_name(int mode) {
+  switch (mode) {
+    case static_cast<int>(cc::BbrSender::Mode::kStartup): return "STARTUP";
+    case static_cast<int>(cc::BbrSender::Mode::kDrain): return "DRAIN";
+    case static_cast<int>(cc::BbrSender::Mode::kProbeBw): return "PROBE_BW";
+    case static_cast<int>(cc::BbrSender::Mode::kProbeRtt): return "PROBE_RTT";
+    default: return "?";
+  }
+}
+
+void run_fig6() {
+  std::printf("=== Figure 6: deterministic adversary actions over 1000 x "
+              "30 ms ===\n");
+  core::CcAdversaryEnv env;
+  rl::PpoAgent adversary = obtain_cc_adversary(env);
+
+  util::Rng rng{606};
+  const core::CcEpisodeRecord record =
+      core::record_cc_episode(adversary, env, rng, /*deterministic=*/true);
+  const std::size_t n = record.raw_bandwidth.size();
+  std::printf("episode: %zu intervals of %.0f ms\n", n,
+              env.params().epoch_s * 1000.0);
+
+  std::vector<std::vector<double>> csv_rows;
+  for (std::size_t i = 0; i < n; ++i) {
+    csv_rows.push_back({static_cast<double>(i), record.raw_bandwidth[i],
+                        record.raw_latency[i], record.raw_loss[i],
+                        static_cast<double>(record.bbr_mode[i]),
+                        record.utilization[i]});
+  }
+  write_csv("fig6_adversary_actions.csv",
+            {"interval", "raw_bandwidth", "raw_latency", "raw_loss",
+             "bbr_mode", "utilization"},
+            csv_rows);
+
+  // The paper's visual claim: the adversary's actions *shift* when BBR
+  // probes. Quantify it as the change in the 8-epoch block mean of the raw
+  // (bandwidth + latency) actions across each PROBE_RTT entry, compared to
+  // the same statistic at ordinary cruise points.
+  constexpr std::size_t kBlock = 8;
+  auto block_shift = [&](std::size_t i) {
+    double before_bw = 0.0;
+    double after_bw = 0.0;
+    double before_lat = 0.0;
+    double after_lat = 0.0;
+    for (std::size_t k = 0; k < kBlock; ++k) {
+      before_bw += record.raw_bandwidth[i - kBlock + k];
+      before_lat += record.raw_latency[i - kBlock + k];
+      after_bw += record.raw_bandwidth[std::min(i + k, n - 1)];
+      after_lat += record.raw_latency[std::min(i + k, n - 1)];
+    }
+    return (std::abs(after_bw - before_bw) + std::abs(after_lat - before_lat)) /
+           static_cast<double>(kBlock);
+  };
+
+  std::vector<std::size_t> probe_entries;
+  for (std::size_t i = 1; i < n; ++i) {
+    if (record.bbr_mode[i] == static_cast<int>(cc::BbrSender::Mode::kProbeRtt) &&
+        record.bbr_mode[i - 1] !=
+            static_cast<int>(cc::BbrSender::Mode::kProbeRtt)) {
+      probe_entries.push_back(i);
+    }
+  }
+
+  util::RunningStat shift_probe;
+  util::RunningStat shift_cruise;
+  for (std::size_t i = kBlock; i + kBlock < n; ++i) {
+    bool near_probe = false;
+    for (std::size_t e : probe_entries) {
+      if (i + 2 * kBlock >= e && i <= e + 2 * kBlock) {
+        near_probe = true;
+        break;
+      }
+    }
+    if (!near_probe) shift_cruise.add(block_shift(i));
+  }
+  for (std::size_t e : probe_entries) {
+    if (e >= kBlock && e + kBlock < n) shift_probe.add(block_shift(e));
+  }
+
+  const std::vector<int> widths{30, 14, 20};
+  print_rule(widths);
+  print_row({"measurement point", "count", "mean action shift"}, widths);
+  print_rule(widths);
+  print_row({"at PROBE_RTT entries", std::to_string(shift_probe.count()),
+             shift_probe.empty() ? "-" : fmt(shift_probe.mean(), 4)}, widths);
+  print_row({"elsewhere (cruise)", std::to_string(shift_cruise.count()),
+             fmt(shift_cruise.mean(), 4)}, widths);
+  print_rule(widths);
+
+  // Print the timeline around each PROBE_RTT event.
+  std::printf("\naction timeline around PROBE_RTT events:\n");
+  for (std::size_t i = 1; i < n; ++i) {
+    const bool enter =
+        record.bbr_mode[i] == static_cast<int>(cc::BbrSender::Mode::kProbeRtt) &&
+        record.bbr_mode[i - 1] != static_cast<int>(cc::BbrSender::Mode::kProbeRtt);
+    if (!enter) continue;
+    std::printf("  t=%5.1f s: BBR enters PROBE_RTT;", (double)(i + 1) * 0.03);
+    std::printf(" raw bw action %.3f -> %.3f, raw lat %.3f -> %.3f\n",
+                record.raw_bandwidth[i - 1],
+                record.raw_bandwidth[std::min(i + 8, n - 1)],
+                record.raw_latency[i - 1],
+                record.raw_latency[std::min(i + 8, n - 1)]);
+  }
+
+  const double mean_loss = util::mean(record.loss_rate);
+  std::printf("\nmean loss-rate action: %.2f%% (paper: ~0)\n",
+              100.0 * mean_loss);
+  if (!shift_probe.empty()) {
+    std::printf("shape check: actions shift more at probing events than in "
+                "cruise: %s (%.4f vs %.4f)\n",
+                shift_probe.mean() > shift_cruise.mean() ? "YES" : "NO",
+                shift_probe.mean(), shift_cruise.mean());
+  } else {
+    std::printf("shape check: no PROBE_RTT observed this episode (adversary "
+                "suppressed or preempted BBR's probing)\n");
+  }
+}
+
+void BM_Fig6(benchmark::State& state) {
+  for (auto _ : state) run_fig6();
+}
+BENCHMARK(BM_Fig6)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

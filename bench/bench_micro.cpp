@@ -1,0 +1,164 @@
+// Microbenchmarks of the substrates every experiment stands on: the link
+// simulator, the streaming simulator, the ABR controllers, the offline
+// optimum, PPO inference/updates, and one adversary-environment step. These
+// quantify why paper-scale training budgets (600k steps) run in seconds.
+#include <benchmark/benchmark.h>
+
+#include "abr/bb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/optimal.hpp"
+#include "abr/runner.hpp"
+#include "cc/bbr.hpp"
+#include "cc/runner.hpp"
+#include "core/abr_adversary.hpp"
+#include "core/cc_adversary.hpp"
+#include "core/trainer.hpp"
+#include "rl/toy_envs.hpp"
+#include "trace/generators.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace netadv;
+
+void BM_LinkTransmit(benchmark::State& state) {
+  cc::LinkSim link;
+  util::Rng rng{1};
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 0.001;
+    benchmark::DoNotOptimize(link.transmit(now, rng));
+  }
+}
+BENCHMARK(BM_LinkTransmit);
+
+void BM_CcRunnerSimSecond(benchmark::State& state) {
+  // One simulated second of a BBR flow on a 12 Mbps link (~1000 packets).
+  for (auto _ : state) {
+    state.PauseTiming();
+    cc::BbrSender bbr;
+    cc::CcRunner runner{bbr, {}, 2};
+    state.ResumeTiming();
+    runner.run_until(1.0);
+    benchmark::DoNotOptimize(runner.total_delivered());
+  }
+}
+BENCHMARK(BM_CcRunnerSimSecond)->Unit(benchmark::kMicrosecond);
+
+void BM_StreamingChunk(benchmark::State& state) {
+  const abr::VideoManifest m;
+  abr::StreamingSession session{m};
+  for (auto _ : state) {
+    if (session.finished()) session.restart();
+    benchmark::DoNotOptimize(session.download_next(3, 2.0));
+  }
+}
+BENCHMARK(BM_StreamingChunk);
+
+void BM_BbDecision(benchmark::State& state) {
+  const abr::VideoManifest m;
+  abr::BufferBased bb;
+  bb.begin_video(m);
+  abr::AbrObservation obs;
+  obs.buffer_s = 12.0;
+  for (auto _ : state) benchmark::DoNotOptimize(bb.choose_quality(obs));
+}
+BENCHMARK(BM_BbDecision);
+
+void BM_MpcDecision(benchmark::State& state) {
+  // One RobustMPC decision = exhaustive 6^5 plan search.
+  const abr::VideoManifest m;
+  abr::RobustMpc mpc;
+  mpc.begin_video(m);
+  abr::AbrObservation obs;
+  obs.chunk_index = 10;
+  obs.buffer_s = 12.0;
+  obs.last_bitrate_mbps = 1.2;
+  obs.throughput_history_mbps = {2.0, 2.2, 1.9, 2.1, 2.0};
+  for (auto _ : state) benchmark::DoNotOptimize(mpc.choose_quality(obs));
+}
+BENCHMARK(BM_MpcDecision)->Unit(benchmark::kMicrosecond);
+
+void BM_OfflineOptimalDp(benchmark::State& state) {
+  const abr::VideoManifest m;
+  trace::UniformRandomGenerator gen{{}};
+  util::Rng rng{3};
+  const trace::Trace t = gen.generate(rng);
+  for (auto _ : state) benchmark::DoNotOptimize(abr::optimal_playback(m, t));
+}
+BENCHMARK(BM_OfflineOptimalDp)->Unit(benchmark::kMillisecond);
+
+void BM_OptimalWindow4(benchmark::State& state) {
+  // The r_opt term computed every adversary step (6^4 plans).
+  const abr::VideoManifest m;
+  const std::vector<double> bw{1.0, 3.0, 2.0, 4.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abr::optimal_window_qoe(m, 10, 8.0, 1.2, bw));
+  }
+}
+BENCHMARK(BM_OptimalWindow4)->Unit(benchmark::kMicrosecond);
+
+void BM_PolicyInference(benchmark::State& state) {
+  // Deterministic action of the ABR adversary's 32x16 policy on the
+  // 110-dimensional observation.
+  abr::VideoManifest m;
+  abr::BufferBased bb;
+  core::AbrAdversaryEnv env{m, bb};
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     core::abr_adversary_ppo_config(), 4};
+  const rl::Vec obs(env.observation_size(), 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(agent.act_deterministic(obs));
+}
+BENCHMARK(BM_PolicyInference);
+
+void BM_PpoUpdate(benchmark::State& state) {
+  // One full PPO iteration (rollout of 256 + minibatch epochs) on a toy env.
+  util::set_log_level(util::LogLevel::kWarn);
+  rl::ContextualBanditEnv env{2, 2, 32};
+  rl::PpoConfig cfg;
+  cfg.hidden_sizes = {32, 16};
+  cfg.n_steps = 256;
+  cfg.minibatch_size = 64;
+  cfg.epochs = 4;
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(), cfg, 5};
+  for (auto _ : state) {
+    agent.train(env, cfg.n_steps);
+  }
+}
+BENCHMARK(BM_PpoUpdate)->Unit(benchmark::kMillisecond);
+
+void BM_AbrAdversaryEnvStep(benchmark::State& state) {
+  abr::VideoManifest m;
+  abr::BufferBased bb;
+  core::AbrAdversaryEnv env{m, bb};
+  util::Rng rng{6};
+  env.reset(rng);
+  for (auto _ : state) {
+    const rl::StepResult r = env.step({0.1}, rng);
+    if (r.done) {
+      state.PauseTiming();
+      env.reset(rng);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_AbrAdversaryEnvStep)->Unit(benchmark::kMicrosecond);
+
+void BM_CcAdversaryEnvStep(benchmark::State& state) {
+  core::CcAdversaryEnv env;
+  util::Rng rng{7};
+  env.reset(rng);
+  for (auto _ : state) {
+    const rl::StepResult r = env.step({0.0, 0.0, -1.0}, rng);
+    if (r.done) {
+      state.PauseTiming();
+      env.reset(rng);
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_CcAdversaryEnvStep)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

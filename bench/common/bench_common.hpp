@@ -1,0 +1,61 @@
+// Shared infrastructure for the per-figure/table benchmark binaries:
+// scaled training budgets (NETADV_SCALE), table printing, CSV artifact
+// output under NETADV_OUT_DIR, and the Figure-1 experiment pipeline reused
+// by bench_fig1 and bench_fig2.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "abr/pensieve.hpp"
+#include "abr/video.hpp"
+#include "rl/ppo.hpp"
+#include "trace/trace.hpp"
+#include "util/config.hpp"
+
+namespace netadv::bench {
+
+/// Print a fixed-width table row to stdout.
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+void print_rule(const std::vector<int>& widths);
+
+std::string fmt(double x, int precision = 3);
+
+/// Write a whole table (header + numeric rows) as a CSV artifact under the
+/// bench output directory; returns the path written.
+std::string write_csv(const std::string& filename,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& rows);
+
+/// Save/load a trace corpus as one CSV (row = trace, col = per-chunk
+/// bandwidth in Mbps). Segment duration/latency are reconstructed from
+/// the defaults used by the ABR experiments.
+void save_trace_set(const std::string& filename,
+                    const std::vector<trace::Trace>& traces);
+
+/// The pre-trained protocols and adversarial trace corpora behind
+/// Figures 1 and 2: a Pensieve trained on a mixed corpus (the stand-in for
+/// the authors' released model), adversaries trained against MPC and against
+/// that Pensieve, 200 recorded traces per adversary, and 200 random traces.
+struct Fig1Artifacts {
+  abr::VideoManifest manifest;
+  std::unique_ptr<rl::PpoAgent> pensieve;
+  std::vector<trace::Trace> traces_vs_mpc;
+  std::vector<trace::Trace> traces_vs_pensieve;
+  std::vector<trace::Trace> traces_random;
+  /// Per-trace per-chunk mean QoE, indexed [protocol][trace];
+  /// protocols are ordered {pensieve, mpc, bb}.
+  std::vector<std::vector<double>> qoe_on_mpc_traces;
+  std::vector<std::vector<double>> qoe_on_pensieve_traces;
+  std::vector<std::vector<double>> qoe_on_random_traces;
+};
+
+inline constexpr const char* kFig1Protocols[3] = {"pensieve", "mpc", "bb"};
+
+/// Build (or scale down via NETADV_SCALE) the full Figure-1 pipeline.
+/// Deterministic for a fixed seed and scale.
+Fig1Artifacts build_fig1_artifacts(std::uint64_t seed = 2019);
+
+}  // namespace netadv::bench

@@ -1,0 +1,78 @@
+// ABR protocol showdown: Buffer-Based vs RobustMPC vs a freshly trained
+// Pensieve across three synthetic network corpora (broadband-like, 3G-like,
+// uniform-random), with the offline optimum as the ceiling.
+//
+//   $ ./abr_showdown [pensieve_training_steps]
+//
+// Demonstrates the streaming substrate end to end: trace generators, the
+// chunk simulator, every ABR controller, QoE_lin accounting, and the
+// offline DP bound.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "abr/bb.hpp"
+#include "abr/bola.hpp"
+#include "abr/mpc.hpp"
+#include "abr/optimal.hpp"
+#include "abr/pensieve.hpp"
+#include "abr/runner.hpp"
+#include "trace/generators.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+using namespace netadv;
+
+int main(int argc, char** argv) {
+  const std::size_t train_steps = argc > 1 ? std::stoul(argv[1]) : 150000;
+  const abr::VideoManifest manifest;
+  util::Rng rng{7};
+
+  // Corpora.
+  trace::FccLikeGenerator broadband{{}};
+  trace::Hsdpa3gLikeGenerator threeg{{}};
+  trace::UniformRandomGenerator uniform{{}};
+
+  // Train Pensieve on a mix of all three so it has seen every regime.
+  std::vector<trace::Trace> corpus;
+  for (const trace::TraceGenerator* g :
+       {static_cast<const trace::TraceGenerator*>(&broadband),
+        static_cast<const trace::TraceGenerator*>(&threeg),
+        static_cast<const trace::TraceGenerator*>(&uniform)}) {
+    auto ts = g->generate_many(50, rng);
+    corpus.insert(corpus.end(), ts.begin(), ts.end());
+  }
+  std::printf("training Pensieve on %zu mixed traces (%zu steps)...\n",
+              corpus.size(), train_steps);
+  abr::PensieveEnv env{manifest, std::move(corpus)};
+  rl::PpoAgent agent = abr::make_pensieve_agent(manifest, 7);
+  agent.train(env, train_steps);
+
+  abr::PensievePolicy pensieve{agent};
+  abr::BufferBased bb;
+  abr::Bola bola;
+  abr::RobustMpc mpc;
+
+  std::printf("\n%-12s %10s %10s %10s %10s %10s\n", "corpus", "bb", "bola",
+              "mpc", "pensieve", "optimal");
+  for (const auto& [name, gen] :
+       std::vector<std::pair<std::string, const trace::TraceGenerator*>>{
+           {"broadband", &broadband}, {"3g", &threeg}, {"random", &uniform}}) {
+    const auto traces = gen->generate_many(30, rng);
+    double opt = 0.0;
+    for (const auto& t : traces) {
+      opt += abr::optimal_playback(manifest, t).total_qoe /
+             static_cast<double>(manifest.num_chunks());
+    }
+    opt /= static_cast<double>(traces.size());
+    std::printf("%-12s %10.3f %10.3f %10.3f %10.3f %10.3f\n", name.c_str(),
+                util::mean(abr::qoe_per_trace(bb, manifest, traces)),
+                util::mean(abr::qoe_per_trace(bola, manifest, traces)),
+                util::mean(abr::qoe_per_trace(mpc, manifest, traces)),
+                util::mean(abr::qoe_per_trace(pensieve, manifest, traces)),
+                opt);
+  }
+  std::printf("\n(per-chunk mean QoE_lin; higher is better; 'optimal' knows "
+              "the future)\n");
+  return 0;
+}

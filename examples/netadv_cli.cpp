@@ -1,0 +1,176 @@
+// netadv_cli — command-line front end to the adversarial framework:
+//
+//   netadv_cli gen   <fcc|3g|random> <count> <out_prefix>     generate traces
+//   netadv_cli eval  <bb|bola|mpc|throughput> <trace.csv>     replay a protocol
+//   netadv_cli attack <bb|bola|mpc|throughput> <steps> <count> <out_prefix>
+//                                                             train + record
+//   netadv_cli cc    <bbr|copa|vivace|cubic|reno> <trace.csv> replay a CC flow
+//   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
+//
+// Traces use the CSV schema of trace::save_trace. Exit code 0 on success.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abr/bb.hpp"
+#include "abr/bola.hpp"
+#include "abr/mpc.hpp"
+#include "abr/optimal.hpp"
+#include "abr/runner.hpp"
+#include "abr/throughput_rule.hpp"
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/cubic.hpp"
+#include "cc/vivace.hpp"
+#include "core/abr_adversary.hpp"
+#include "core/recorder.hpp"
+#include "core/trainer.hpp"
+#include "trace/generators.hpp"
+#include "trace/mahimahi.hpp"
+#include "trace/trace.hpp"
+#include "util/log.hpp"
+
+using namespace netadv;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  netadv_cli gen <fcc|3g|random> <count> <out_prefix>\n"
+               "  netadv_cli eval <bb|bola|mpc|throughput> <trace.csv>\n"
+               "  netadv_cli attack <bb|bola|mpc|throughput> <steps> <count> "
+               "<out_prefix>\n"
+               "  netadv_cli cc <bbr|copa|vivace|cubic|reno> <trace.csv>\n"
+               "  netadv_cli mm-export <trace.csv> <out.mm>\n");
+  return 2;
+}
+
+std::unique_ptr<trace::TraceGenerator> make_generator(const std::string& kind) {
+  if (kind == "fcc") return std::make_unique<trace::FccLikeGenerator>();
+  if (kind == "3g") return std::make_unique<trace::Hsdpa3gLikeGenerator>();
+  if (kind == "random") return std::make_unique<trace::UniformRandomGenerator>();
+  return nullptr;
+}
+
+std::unique_ptr<abr::AbrProtocol> make_protocol(const std::string& kind) {
+  if (kind == "bb") return std::make_unique<abr::BufferBased>();
+  if (kind == "bola") return std::make_unique<abr::Bola>();
+  if (kind == "mpc") return std::make_unique<abr::RobustMpc>();
+  if (kind == "throughput") return std::make_unique<abr::ThroughputRule>();
+  return nullptr;
+}
+
+std::unique_ptr<cc::CcSender> make_sender(const std::string& kind) {
+  if (kind == "bbr") return std::make_unique<cc::BbrSender>();
+  if (kind == "copa") return std::make_unique<cc::CopaSender>();
+  if (kind == "vivace") return std::make_unique<cc::VivaceSender>();
+  if (kind == "cubic") return std::make_unique<cc::CubicSender>();
+  if (kind == "reno") return std::make_unique<cc::RenoSender>();
+  return nullptr;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  if (args.size() != 3) return usage();
+  auto gen = make_generator(args[0]);
+  if (!gen) return usage();
+  const auto count = static_cast<std::size_t>(std::stoul(args[1]));
+  util::Rng rng{20190707};
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string path = args[2] + "_" + std::to_string(i) + ".csv";
+    trace::save_trace(gen->generate(rng), path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  auto protocol = make_protocol(args[0]);
+  if (!protocol) return usage();
+  const trace::Trace t = trace::load_trace(args[1]);
+  const abr::VideoManifest manifest;
+  const abr::PlaybackRecord record =
+      abr::run_playback(*protocol, manifest, t);
+  const abr::OptimalPlan optimum = abr::optimal_playback(manifest, t);
+  std::printf("%s on %s:\n", protocol->name().c_str(), args[1].c_str());
+  std::printf("  QoE            %10.2f (offline optimum %.2f)\n",
+              record.total_qoe, optimum.total_qoe);
+  std::printf("  mean bitrate   %10.2f Mbps\n", record.mean_bitrate_mbps);
+  std::printf("  rebuffering    %10.2f s\n", record.total_rebuffer_s);
+  std::printf("  rate switches  %10zu\n", record.quality_switches);
+  return 0;
+}
+
+int cmd_attack(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  auto protocol = make_protocol(args[0]);
+  if (!protocol) return usage();
+  const auto steps = static_cast<std::size_t>(std::stoul(args[1]));
+  const auto count = static_cast<std::size_t>(std::stoul(args[2]));
+
+  const abr::VideoManifest manifest;
+  core::AbrAdversaryEnv env{manifest, *protocol};
+  std::printf("training adversary vs %s for %zu steps...\n",
+              protocol->name().c_str(), steps);
+  rl::PpoAgent adversary = core::train_abr_adversary(env, steps, 20190707);
+
+  util::Rng rng{20190708};
+  const auto traces = core::record_abr_traces(adversary, env, count, rng);
+  double regret = 0.0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const std::string path = args[3] + "_" + std::to_string(i) + ".csv";
+    trace::save_trace(traces[i], path);
+    auto target = make_protocol(args[0]);
+    regret += abr::optimal_playback(manifest, traces[i]).total_qoe -
+              abr::run_playback(*target, manifest, traces[i]).total_qoe;
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("mean regret over %zu traces: %.2f QoE\n", traces.size(),
+              regret / static_cast<double>(traces.size()));
+  return 0;
+}
+
+int cmd_cc(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  auto sender = make_sender(args[0]);
+  if (!sender) return usage();
+  const trace::Trace t = trace::load_trace(args[1]);
+  const core::CcReplayResult result =
+      core::replay_cc_trace(*sender, t, {}, 20190707);
+  std::printf("%s on %s:\n", sender->name().c_str(), args[1].c_str());
+  std::printf("  mean throughput  %8.2f Mbps\n", result.mean_throughput_mbps);
+  std::printf("  mean utilization %8.1f %%\n",
+              100.0 * result.mean_utilization);
+  return 0;
+}
+
+int cmd_mm_export(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const trace::Trace t = trace::load_trace(args[0]);
+  trace::save_mahimahi_trace(t, args[1]);
+  std::printf("wrote %s (%0.f s, mean %.2f Mbps)\n", args[1].c_str(),
+              t.total_duration_s(), t.mean_bandwidth_mbps());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args;
+  for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "eval") return cmd_eval(args);
+    if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "cc") return cmd_cc(args);
+    if (cmd == "mm-export") return cmd_mm_export(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,29 @@
+#include "abr/bb.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::abr {
+
+BufferBased::BufferBased(Params params) : params_(params) {
+  if (params_.reservoir_s < 0.0 || params_.cushion_s <= 0.0) {
+    throw std::invalid_argument{"BufferBased: bad parameters"};
+  }
+}
+
+void BufferBased::begin_video(const VideoManifest& manifest) {
+  manifest_ = &manifest;
+}
+
+std::size_t BufferBased::choose_quality(const AbrObservation& observation) {
+  if (manifest_ == nullptr) throw std::logic_error{"BufferBased: begin_video not called"};
+  const std::size_t top = manifest_->num_qualities() - 1;
+  const double buffer = observation.buffer_s;
+  if (buffer <= params_.reservoir_s) return 0;
+  if (buffer >= params_.reservoir_s + params_.cushion_s) return top;
+  const double frac = (buffer - params_.reservoir_s) / params_.cushion_s;
+  return static_cast<std::size_t>(
+      std::floor(frac * static_cast<double>(top)));
+}
+
+}  // namespace netadv::abr

@@ -1,0 +1,34 @@
+// Buffer-Based rate adaptation (Huang et al., SIGCOMM 2014), the "BB"
+// baseline of Section 3: quality is a pure function of buffer occupancy —
+// lowest rate below the reservoir, highest above reservoir+cushion, linear
+// interpolation between. The paper observes BB holding a >= 10 s buffer and
+// switching rates inside a 10-15 s band, so the defaults here are
+// reservoir 10 s / cushion 5 s.
+#pragma once
+
+#include "abr/protocol.hpp"
+
+namespace netadv::abr {
+
+class BufferBased final : public AbrProtocol {
+ public:
+  struct Params {
+    double reservoir_s = 10.0;
+    double cushion_s = 5.0;
+  };
+
+  BufferBased() : BufferBased(Params{}) {}
+  explicit BufferBased(Params params);
+
+  std::string name() const override { return "bb"; }
+  void begin_video(const VideoManifest& manifest) override;
+  std::size_t choose_quality(const AbrObservation& observation) override;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+  const VideoManifest* manifest_ = nullptr;
+};
+
+}  // namespace netadv::abr

@@ -1,0 +1,49 @@
+#include "abr/bola.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::abr {
+
+Bola::Bola(Params params) : params_(params) {
+  if (params_.buffer_target_s <= 0.0 || params_.gamma_p <= 0.0) {
+    throw std::invalid_argument{"Bola: bad parameters"};
+  }
+}
+
+void Bola::begin_video(const VideoManifest& manifest) {
+  manifest_ = &manifest;
+  utilities_.clear();
+  const double s_min = manifest.bitrate_kbps(0);
+  for (std::size_t q = 0; q < manifest.num_qualities(); ++q) {
+    utilities_.push_back(std::log(manifest.bitrate_kbps(q) / s_min));
+  }
+  // V from BOLA's design rule: at the buffer target the lowest quality's
+  // score crosses zero -> V = (Q_target - 1) / (v_0 + gamma_p) with
+  // utilities/bufffer measured in chunks; v_0 = 0 for the lowest quality.
+  const double q_target = params_.buffer_target_s / manifest.chunk_duration_s();
+  v_ = (q_target - 1.0) / (utilities_.front() + params_.gamma_p);
+}
+
+std::size_t Bola::choose_quality(const AbrObservation& observation) {
+  if (manifest_ == nullptr) throw std::logic_error{"Bola: begin_video not called"};
+  const double buffer_chunks =
+      observation.buffer_s / manifest_->chunk_duration_s();
+  std::size_t best = 0;
+  double best_score = -1e18;
+  for (std::size_t q = 0; q < manifest_->num_qualities(); ++q) {
+    // Relative chunk size in "chunks of lowest quality" units keeps the
+    // score scale-free.
+    const double s_q =
+        manifest_->bitrate_kbps(q) / manifest_->bitrate_kbps(0);
+    const double score =
+        (v_ * (utilities_[q] + params_.gamma_p) - buffer_chunks) / s_q;
+    if (score > best_score) {
+      best_score = score;
+      best = q;
+    }
+  }
+  return best;
+}
+
+}  // namespace netadv::abr

@@ -1,0 +1,27 @@
+#include "abr/qoe.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::abr {
+
+double chunk_qoe(double bitrate_mbps, double rebuffer_s,
+                 double prev_bitrate_mbps, const QoeParams& params) {
+  return bitrate_mbps - params.rebuffer_penalty * rebuffer_s -
+         params.smoothness_penalty * std::abs(bitrate_mbps - prev_bitrate_mbps);
+}
+
+double total_qoe(std::span<const double> bitrates_mbps,
+                 std::span<const double> rebuffer_s, const QoeParams& params) {
+  if (bitrates_mbps.empty() || bitrates_mbps.size() != rebuffer_s.size()) {
+    throw std::invalid_argument{"total_qoe: bad spans"};
+  }
+  double qoe = 0.0;
+  for (std::size_t i = 0; i < bitrates_mbps.size(); ++i) {
+    const double prev = i == 0 ? bitrates_mbps[0] : bitrates_mbps[i - 1];
+    qoe += chunk_qoe(bitrates_mbps[i], rebuffer_s[i], prev, params);
+  }
+  return qoe;
+}
+
+}  // namespace netadv::abr

@@ -1,0 +1,45 @@
+// Replays an ABR protocol over a trace (one trace segment per chunk, the
+// paper's per-chunk network-change granularity) and collects the per-chunk
+// record plus QoE_lin — the measurement core behind Figures 1-4.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abr/protocol.hpp"
+#include "abr/qoe.hpp"
+#include "abr/sim.hpp"
+#include "abr/video.hpp"
+#include "trace/trace.hpp"
+
+namespace netadv::abr {
+
+struct PlaybackRecord {
+  std::vector<DownloadResult> chunks;
+  double total_qoe = 0.0;
+  double mean_chunk_qoe = 0.0;
+  double total_rebuffer_s = 0.0;
+  double mean_bitrate_mbps = 0.0;
+  std::size_t quality_switches = 0;
+};
+
+/// Bandwidth (Mbps) in effect for chunk `index`: segment `index` of the
+/// trace, clamping to the last segment for traces shorter than the video.
+double bandwidth_for_chunk(const trace::Trace& trace, std::size_t index);
+
+/// Run one full playback of `manifest` through `protocol` with per-chunk
+/// bandwidths taken from `trace`. `history_window` bounds the
+/// throughput/download-time history exposed to the protocol.
+PlaybackRecord run_playback(AbrProtocol& protocol,
+                            const VideoManifest& manifest,
+                            const trace::Trace& trace,
+                            const QoeParams& qoe = {},
+                            std::size_t history_window = 8);
+
+/// QoE of one playback per trace; the CDF inputs of Figure 1.
+std::vector<double> qoe_per_trace(AbrProtocol& protocol,
+                                  const VideoManifest& manifest,
+                                  const std::vector<trace::Trace>& traces,
+                                  const QoeParams& qoe = {});
+
+}  // namespace netadv::abr

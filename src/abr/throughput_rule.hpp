@@ -1,0 +1,35 @@
+// Throughput-rule ABR (the "rate-based" baseline family, e.g. the Festive
+// lineage): pick the highest bitrate below a safety fraction of the
+// harmonic-mean throughput estimate, ignoring the buffer entirely. The
+// natural counterpart to BufferBased (buffer-only) and a useful extra
+// target: its weakness — trusting recent throughput — is exactly what an
+// adversary that whipsaws bandwidth exploits.
+#pragma once
+
+#include "abr/protocol.hpp"
+
+namespace netadv::abr {
+
+class ThroughputRule final : public AbrProtocol {
+ public:
+  struct Params {
+    std::size_t window = 5;      ///< harmonic-mean window
+    double safety_factor = 0.9;  ///< fraction of the estimate to spend
+  };
+
+  ThroughputRule() : ThroughputRule(Params{}) {}
+  explicit ThroughputRule(Params params);
+
+  std::string name() const override { return "throughput-rule"; }
+  void begin_video(const VideoManifest& manifest) override;
+  std::size_t choose_quality(const AbrObservation& observation) override;
+
+  /// The bandwidth estimate the rule would act on now (for tests).
+  double estimate_mbps(const AbrObservation& observation) const;
+
+ private:
+  Params params_;
+  const VideoManifest* manifest_ = nullptr;
+};
+
+}  // namespace netadv::abr

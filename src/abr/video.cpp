@@ -1,0 +1,50 @@
+#include "abr/video.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace netadv::abr {
+
+VideoManifest::VideoManifest(Params params)
+    : bitrates_kbps_(std::move(params.bitrates_kbps)),
+      num_chunks_(params.num_chunks),
+      chunk_duration_s_(params.chunk_duration_s) {
+  if (bitrates_kbps_.empty() || num_chunks_ == 0 || chunk_duration_s_ <= 0.0) {
+    throw std::invalid_argument{"VideoManifest: bad parameters"};
+  }
+  for (std::size_t i = 0; i < bitrates_kbps_.size(); ++i) {
+    if (bitrates_kbps_[i] <= 0.0 ||
+        (i > 0 && bitrates_kbps_[i] <= bitrates_kbps_[i - 1])) {
+      throw std::invalid_argument{
+          "VideoManifest: bitrates must be positive and strictly increasing"};
+    }
+  }
+  if (params.size_variation < 0.0 || params.size_variation >= 1.0) {
+    throw std::invalid_argument{"VideoManifest: size_variation out of [0, 1)"};
+  }
+  util::Rng rng{params.size_seed};
+  size_multipliers_.reserve(num_chunks_);
+  for (std::size_t i = 0; i < num_chunks_; ++i) {
+    size_multipliers_.push_back(
+        rng.uniform(1.0 - params.size_variation, 1.0 + params.size_variation));
+  }
+}
+
+double VideoManifest::chunk_size_bits(std::size_t index,
+                                      std::size_t quality) const {
+  if (index >= num_chunks_) throw std::out_of_range{"VideoManifest: chunk index"};
+  return bitrates_kbps_.at(quality) * 1000.0 * chunk_duration_s_ *
+         size_multipliers_[index];
+}
+
+std::vector<double> VideoManifest::chunk_sizes_bits(std::size_t index) const {
+  std::vector<double> sizes;
+  sizes.reserve(num_qualities());
+  for (std::size_t q = 0; q < num_qualities(); ++q) {
+    sizes.push_back(chunk_size_bits(index, q));
+  }
+  return sizes;
+}
+
+}  // namespace netadv::abr

@@ -1,0 +1,57 @@
+// Video model for adaptive bitrate streaming: a fixed ladder of encodings
+// and per-chunk sizes. Defaults mirror the Pensieve evaluation setup the
+// paper reuses: 48 four-second chunks at
+// {300, 750, 1200, 1850, 2850, 4300} kbps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace netadv::abr {
+
+class VideoManifest {
+ public:
+  struct Params {
+    std::vector<double> bitrates_kbps{300, 750, 1200, 1850, 2850, 4300};
+    std::size_t num_chunks = 48;
+    double chunk_duration_s = 4.0;
+    /// Per-chunk encoded-size variation around the nominal bitrate*duration
+    /// (VBR wobble); sizes are drawn deterministically from `size_seed` so a
+    /// manifest is a value.
+    double size_variation = 0.05;
+    unsigned size_seed = 1;
+  };
+
+  VideoManifest() : VideoManifest(Params{}) {}
+  explicit VideoManifest(Params params);
+
+  std::size_t num_qualities() const noexcept { return bitrates_kbps_.size(); }
+  std::size_t num_chunks() const noexcept { return num_chunks_; }
+  double chunk_duration_s() const noexcept { return chunk_duration_s_; }
+  double bitrate_kbps(std::size_t quality) const {
+    return bitrates_kbps_.at(quality);
+  }
+  double bitrate_mbps(std::size_t quality) const {
+    return bitrate_kbps(quality) / 1000.0;
+  }
+  double max_bitrate_mbps() const { return bitrates_kbps_.back() / 1000.0; }
+
+  /// Encoded size of chunk `index` at `quality`, in bits.
+  double chunk_size_bits(std::size_t index, std::size_t quality) const;
+
+  /// Sizes of chunk `index` across all qualities (the "possible sizes of the
+  /// next chunk" the paper's adversary and MPC observe), in bits.
+  std::vector<double> chunk_sizes_bits(std::size_t index) const;
+
+  double total_duration_s() const noexcept {
+    return static_cast<double>(num_chunks_) * chunk_duration_s_;
+  }
+
+ private:
+  std::vector<double> bitrates_kbps_;
+  std::size_t num_chunks_;
+  double chunk_duration_s_;
+  std::vector<double> size_multipliers_;  // one per chunk
+};
+
+}  // namespace netadv::abr

@@ -1,0 +1,191 @@
+#include "cc/bbr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netadv::cc {
+
+BbrSender::BbrSender(Params params) : params_(std::move(params)) {
+  if (params_.packet_bits <= 0.0 || params_.probe_bw_gains.empty() ||
+      params_.startup_gain <= 1.0 || params_.min_rtt_window_s <= 0.0 ||
+      params_.initial_rtt_s <= 0.0) {
+    throw std::invalid_argument{"BbrSender: bad parameters"};
+  }
+  start(0.0);
+}
+
+void BbrSender::start(double now_s) {
+  now_s_ = now_s;
+  mode_ = Mode::kStartup;
+  pacing_gain_ = params_.startup_gain;
+  cwnd_gain_ = params_.startup_gain;
+  bw_filter_.reset();
+  btl_bw_bps_ = 0.0;
+  min_rtt_s_ = 0.0;
+  min_rtt_stamp_s_ = now_s;
+  have_min_rtt_ = false;
+  next_round_delivered_ = 0;
+  round_count_ = 0;
+  round_start_ = false;
+  filled_pipe_ = false;
+  full_bw_bps_ = 0.0;
+  full_bw_count_ = 0;
+  cycle_index_ = 0;
+  cycle_stamp_s_ = now_s;
+  probe_rtt_done_stamp_s_ = -1.0;
+  inflight_packets_ = 0.0;
+  min_rtt_expired_ = false;
+}
+
+double BbrSender::bdp_packets() const {
+  if (btl_bw_bps_ <= 0.0 || min_rtt_s_ <= 0.0) {
+    return params_.initial_cwnd_packets;
+  }
+  return btl_bw_bps_ * min_rtt_s_ / params_.packet_bits;
+}
+
+void BbrSender::check_full_pipe() {
+  if (filled_pipe_ || !round_start_) return;
+  if (btl_bw_bps_ >= full_bw_bps_ * params_.full_bw_growth) {
+    full_bw_bps_ = btl_bw_bps_;
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= params_.full_bw_rounds) filled_pipe_ = true;
+}
+
+void BbrSender::enter_probe_bw(double now_s) {
+  mode_ = Mode::kProbeBw;
+  // Start on a cruise phase (as Linux does, avoiding 0.75 right after DRAIN).
+  cycle_index_ = 2;
+  cycle_stamp_s_ = now_s;
+  pacing_gain_ = params_.probe_bw_gains[cycle_index_];
+  cwnd_gain_ = params_.cwnd_gain;
+}
+
+void BbrSender::advance_cycle_phase(double now_s) {
+  const double phase_len = std::max(min_rtt_s_, 1e-3);
+  if (now_s - cycle_stamp_s_ < phase_len) return;
+  cycle_index_ = (cycle_index_ + 1) % params_.probe_bw_gains.size();
+  cycle_stamp_s_ = now_s;
+  pacing_gain_ = params_.probe_bw_gains[cycle_index_];
+}
+
+void BbrSender::update_min_rtt(double rtt_s, double now_s) {
+  // Strictly-lower samples only (the Linux rule): a link that merely keeps
+  // matching the current minimum does not refresh the stamp, so the filter
+  // still expires every min_rtt_window_s — the 10-second PROBE_RTT rhythm
+  // the paper's adversary locks onto (Figure 6). The same ACK that expires
+  // the filter both refreshes the estimate and (via the flag consumed by
+  // check_probe_rtt) triggers PROBE_RTT, as in the Linux implementation.
+  const bool expired = now_s - min_rtt_stamp_s_ > params_.min_rtt_window_s;
+  min_rtt_expired_ = have_min_rtt_ && expired;
+  if (!have_min_rtt_ || rtt_s < min_rtt_s_ || expired) {
+    min_rtt_s_ = rtt_s;
+    min_rtt_stamp_s_ = now_s;
+    have_min_rtt_ = true;
+  }
+}
+
+void BbrSender::check_probe_rtt(double now_s) {
+  if (mode_ != Mode::kProbeRtt && min_rtt_expired_) {
+    mode_before_probe_rtt_ = filled_pipe_ ? Mode::kProbeBw : Mode::kStartup;
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    cwnd_gain_ = 1.0;
+    probe_rtt_done_stamp_s_ = -1.0;
+    min_rtt_expired_ = false;
+    return;
+  }
+  if (mode_ == Mode::kProbeRtt) {
+    // Hold at min cwnd; once inflight has drained, time the dwell.
+    if (probe_rtt_done_stamp_s_ < 0.0 &&
+        inflight_packets_ <= params_.min_cwnd_packets) {
+      probe_rtt_done_stamp_s_ = now_s + params_.probe_rtt_duration_s;
+    }
+    if (probe_rtt_done_stamp_s_ >= 0.0 && now_s >= probe_rtt_done_stamp_s_) {
+      min_rtt_stamp_s_ = now_s;  // dwell complete: sample considered fresh
+      min_rtt_expired_ = false;
+      if (mode_before_probe_rtt_ == Mode::kProbeBw) {
+        enter_probe_bw(now_s);
+      } else {
+        mode_ = Mode::kStartup;
+        pacing_gain_ = params_.startup_gain;
+        cwnd_gain_ = params_.startup_gain;
+      }
+    }
+  }
+}
+
+void BbrSender::on_ack(const AckInfo& ack) {
+  now_s_ = ack.ack_time_s;
+
+  // Round-trip bookkeeping.
+  round_start_ = false;
+  if (ack.delivered_at_send >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered;
+    ++round_count_;
+    round_start_ = true;
+  }
+
+  // Delivery-rate sample: delivered delta over the interval since this
+  // packet left, the estimator from the BBR paper.
+  const double interval = ack.ack_time_s - ack.delivered_time_at_send_s;
+  if (interval > 0.0) {
+    const double delivered_bits =
+        static_cast<double>(ack.delivered - ack.delivered_at_send) *
+        params_.packet_bits;
+    const double sample_bps = delivered_bits / interval;
+    // Window length tracks ~10 packet-timed rounds of the current RTT.
+    const double rtt_for_window = have_min_rtt_ ? min_rtt_s_ : params_.initial_rtt_s;
+    const double window = params_.bw_window_rounds * std::max(rtt_for_window, 1e-3);
+    bw_filter_.set_window_length(window);
+    bw_filter_.update(sample_bps, ack.ack_time_s);
+    btl_bw_bps_ = bw_filter_.get(ack.ack_time_s);
+  }
+
+  update_min_rtt(ack.rtt_s, ack.ack_time_s);
+  check_full_pipe();
+
+  switch (mode_) {
+    case Mode::kStartup:
+      if (filled_pipe_) {
+        mode_ = Mode::kDrain;
+        pacing_gain_ = 1.0 / params_.startup_gain;
+        cwnd_gain_ = params_.startup_gain;
+      }
+      break;
+    case Mode::kDrain:
+      if (inflight_packets_ <= bdp_packets()) enter_probe_bw(ack.ack_time_s);
+      break;
+    case Mode::kProbeBw:
+      advance_cycle_phase(ack.ack_time_s);
+      break;
+    case Mode::kProbeRtt:
+      break;
+  }
+  check_probe_rtt(ack.ack_time_s);
+}
+
+void BbrSender::on_loss(const LossInfo& loss) {
+  // BBRv1 ignores individual losses by design (no multiplicative decrease);
+  // only time advances.
+  now_s_ = std::max(now_s_, loss.detect_time_s);
+  check_probe_rtt(now_s_);
+}
+
+double BbrSender::pacing_rate_bps() const {
+  if (btl_bw_bps_ <= 0.0) {
+    // Before the first bandwidth sample: initial cwnd over the RTT guess.
+    return pacing_gain_ * params_.initial_cwnd_packets * params_.packet_bits /
+           params_.initial_rtt_s;
+  }
+  return std::max(pacing_gain_ * btl_bw_bps_, 1e4);
+}
+
+double BbrSender::cwnd_packets() const {
+  if (mode_ == Mode::kProbeRtt) return params_.min_cwnd_packets;
+  return std::max(cwnd_gain_ * bdp_packets(), params_.min_cwnd_packets);
+}
+
+}  // namespace netadv::cc

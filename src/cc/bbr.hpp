@@ -1,0 +1,111 @@
+// BBR congestion control (Cardwell et al., 2016), the paper's Section 4
+// case study. This is a faithful model of BBRv1's control loop — the part
+// the adversary exploits:
+//   * bottleneck-bandwidth estimate: windowed max of per-ACK delivery-rate
+//     samples over ~10 round trips;
+//   * min-RTT estimate: 10-second windowed min, refreshed by PROBE_RTT;
+//   * state machine: STARTUP (gain 2.885 until bandwidth plateaus over 3
+//     rounds) -> DRAIN -> PROBE_BW (8-phase pacing-gain cycle
+//     [1.25, 0.75, 1, 1, 1, 1, 1, 1], one phase per min-RTT) with PROBE_RTT
+//     (cwnd = 4 for 200 ms) whenever the min-RTT sample is 10 s stale;
+//   * pacing at gain * btl_bw, cwnd = max(cwnd_gain * BDP, 4).
+// Kernel-level details (pacing qdisc, ACK aggregation heuristics) are out of
+// scope; the probing schedule — the exploited weakness — is complete.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cc/sender.hpp"
+#include "cc/windowed_filter.hpp"
+
+namespace netadv::cc {
+
+class BbrSender final : public CcSender {
+ public:
+  enum class Mode { kStartup, kDrain, kProbeBw, kProbeRtt };
+
+  struct Params {
+    double packet_bits = 12000.0;  ///< must match the link's packet size
+    double startup_gain = 2.885;
+    std::vector<double> probe_bw_gains{1.25, 0.75, 1.0, 1.0,
+                                       1.0,  1.0,  1.0, 1.0};
+    double cwnd_gain = 2.0;
+    double min_rtt_window_s = 10.0;   ///< PROBE_RTT every 10 s (the paper's knob)
+    double probe_rtt_duration_s = 0.2;
+    double bw_window_rounds = 10.0;   ///< max-filter length in round trips
+    double min_cwnd_packets = 4.0;
+    double initial_rtt_s = 0.1;       ///< RTT guess before the first sample
+    double initial_cwnd_packets = 10.0;
+    /// Bandwidth-plateau test: STARTUP exits after `full_bw_rounds` rounds
+    /// without `full_bw_growth` growth.
+    double full_bw_growth = 1.25;
+    std::size_t full_bw_rounds = 3;
+  };
+
+  BbrSender() : BbrSender(Params{}) {}
+  explicit BbrSender(Params params);
+
+  std::string name() const override { return "bbr"; }
+  void start(double now_s) override;
+  void on_ack(const AckInfo& ack) override;
+  void on_loss(const LossInfo& loss) override;
+  double pacing_rate_bps() const override;
+  double cwnd_packets() const override;
+
+  /// Runner hook: BBR's DRAIN exit and PROBE_RTT hold depend on inflight.
+  void set_inflight(double packets) noexcept { inflight_packets_ = packets; }
+
+  // Introspection for tests and the Figure-5/6 harnesses.
+  Mode mode() const noexcept { return mode_; }
+  double bottleneck_bw_bps() const noexcept { return btl_bw_bps_; }
+  double min_rtt_s() const noexcept { return min_rtt_s_; }
+  double pacing_gain() const noexcept { return pacing_gain_; }
+  std::size_t probe_bw_phase() const noexcept { return cycle_index_; }
+  bool filled_pipe() const noexcept { return filled_pipe_; }
+
+ private:
+  double bdp_packets() const;
+  void enter_probe_bw(double now_s);
+  void advance_cycle_phase(double now_s);
+  void check_full_pipe();
+  void update_min_rtt(double rtt_s, double now_s);
+  void check_probe_rtt(double now_s);
+
+  Params params_;
+
+  Mode mode_ = Mode::kStartup;
+  double pacing_gain_ = 1.0;
+  double cwnd_gain_ = 1.0;
+
+  WindowedFilter bw_filter_{FilterKind::kMax, 1.0};
+  double btl_bw_bps_ = 0.0;
+
+  double min_rtt_s_ = 0.0;
+  double min_rtt_stamp_s_ = 0.0;
+  bool have_min_rtt_ = false;
+  bool min_rtt_expired_ = false;
+
+  // Round-trip accounting (packet-timed rounds via the delivered counter).
+  std::uint64_t next_round_delivered_ = 0;
+  std::uint64_t round_count_ = 0;
+  bool round_start_ = false;
+
+  // STARTUP plateau detection.
+  bool filled_pipe_ = false;
+  double full_bw_bps_ = 0.0;
+  std::size_t full_bw_count_ = 0;
+
+  // PROBE_BW cycle.
+  std::size_t cycle_index_ = 0;
+  double cycle_stamp_s_ = 0.0;
+
+  // PROBE_RTT.
+  double probe_rtt_done_stamp_s_ = -1.0;
+  Mode mode_before_probe_rtt_ = Mode::kProbeBw;
+
+  double inflight_packets_ = 0.0;
+  double now_s_ = 0.0;
+};
+
+}  // namespace netadv::cc

@@ -1,0 +1,85 @@
+#include "cc/copa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::cc {
+
+CopaSender::CopaSender(Params params) : params_(std::move(params)) {
+  if (params_.packet_bits <= 0.0 || params_.delta <= 0.0 ||
+      params_.initial_cwnd < 1.0 || params_.initial_rtt_s <= 0.0) {
+    throw std::invalid_argument{"CopaSender: bad parameters"};
+  }
+  start(0.0);
+}
+
+void CopaSender::start(double now_s) {
+  now_s_ = now_s;
+  cwnd_ = params_.initial_cwnd;
+  srtt_s_ = params_.initial_rtt_s;
+  min_rtt_ = 0.0;
+  standing_rtt_ = 0.0;
+  min_rtt_filter_ = WindowedFilter{FilterKind::kMin, params_.min_rtt_window_s};
+  standing_filter_ = WindowedFilter{FilterKind::kMin, params_.initial_rtt_s / 2.0};
+  velocity_ = 1.0;
+  direction_ = 0;
+  direction_change_t_ = now_s;
+}
+
+double CopaSender::queuing_delay_s() const noexcept {
+  return std::max(0.0, standing_rtt_ - min_rtt_);
+}
+
+void CopaSender::on_ack(const AckInfo& ack) {
+  now_s_ = ack.ack_time_s;
+  srtt_s_ = srtt_s_ <= 0.0 ? ack.rtt_s : 0.875 * srtt_s_ + 0.125 * ack.rtt_s;
+
+  min_rtt_filter_.update(ack.rtt_s, now_s_);
+  min_rtt_ = min_rtt_filter_.get(now_s_);
+  standing_filter_.set_window_length(std::max(srtt_s_ / 2.0, 1e-3));
+  standing_filter_.update(ack.rtt_s, now_s_);
+  standing_rtt_ = standing_filter_.get(now_s_);
+
+  const double d_q = queuing_delay_s();
+  // Target rate 1/(delta * d_q) pkts/s; with an empty queue the target is
+  // unbounded, so always increase.
+  const double current_rate = cwnd_ / std::max(standing_rtt_, 1e-6);
+  int new_direction = +1;
+  if (d_q > 1e-9) {
+    const double target_rate = 1.0 / (params_.delta * d_q);
+    new_direction = current_rate <= target_rate ? +1 : -1;
+  }
+
+  // Velocity doubles each RTT the direction persists; resets on change.
+  if (new_direction != direction_) {
+    velocity_ = 1.0;
+    direction_ = new_direction;
+    direction_change_t_ = now_s_;
+  } else if (now_s_ - direction_change_t_ >= srtt_s_) {
+    velocity_ = std::min(velocity_ * 2.0, params_.max_velocity);
+    direction_change_t_ = now_s_;
+  }
+
+  cwnd_ += static_cast<double>(direction_) * velocity_ /
+           (params_.delta * cwnd_);
+  cwnd_ = std::max(cwnd_, params_.min_cwnd);
+}
+
+void CopaSender::on_loss(const LossInfo& /*loss*/) {
+  // Default-mode Copa reacts to delay, not loss; a loss is treated as a
+  // strong congestion hint only insofar as the queue it implies raises the
+  // standing RTT. (The competitive mode's TCP detection is out of scope.)
+}
+
+double CopaSender::pacing_rate_bps() const {
+  // Copa paces packets evenly across the RTT (inter-send time
+  // RTTstanding / (2 cwnd), i.e. nominally 2x the cwnd rate); the cwnd cap
+  // in the runner keeps the average at cwnd per RTT, so the extra headroom
+  // only smooths bursts.
+  const double rtt = standing_rtt_ > 0.0 ? standing_rtt_ : srtt_s_;
+  return std::max(2.0 * cwnd_ * params_.packet_bits / std::max(rtt, 1e-3),
+                  1e4);
+}
+
+}  // namespace netadv::cc

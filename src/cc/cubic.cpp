@@ -1,0 +1,107 @@
+#include "cc/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::cc {
+
+namespace {
+/// Smoothed RTT with the standard alpha = 1/8.
+double update_srtt(double srtt, double sample) {
+  return srtt <= 0.0 ? sample : 0.875 * srtt + 0.125 * sample;
+}
+}  // namespace
+
+CubicSender::CubicSender(Params params) : params_(std::move(params)) {
+  if (params_.packet_bits <= 0.0 || params_.c <= 0.0 || params_.beta <= 0.0 ||
+      params_.beta >= 1.0 || params_.initial_cwnd < 1.0) {
+    throw std::invalid_argument{"CubicSender: bad parameters"};
+  }
+  start(0.0);
+}
+
+void CubicSender::start(double now_s) {
+  now_s_ = now_s;
+  cwnd_ = params_.initial_cwnd;
+  ssthresh_ = params_.initial_ssthresh;
+  w_max_ = 0.0;
+  epoch_start_s_ = -1.0;
+  srtt_s_ = params_.initial_rtt_s;
+  last_decrease_s_ = -1e9;
+}
+
+void CubicSender::on_ack(const AckInfo& ack) {
+  now_s_ = ack.ack_time_s;
+  srtt_s_ = update_srtt(srtt_s_, ack.rtt_s);
+
+  if (in_slow_start()) {
+    cwnd_ += 1.0;
+    return;
+  }
+
+  if (epoch_start_s_ < 0.0) {
+    epoch_start_s_ = now_s_;
+    if (w_max_ < cwnd_) w_max_ = cwnd_;
+  }
+  // W(t) = C (t - K)^3 + W_max,  K = cbrt(W_max (1 - beta) / C).
+  const double k = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
+  const double t = now_s_ - epoch_start_s_ + srtt_s_;
+  const double target = params_.c * std::pow(t - k, 3.0) + w_max_;
+  if (target > cwnd_) {
+    cwnd_ += (target - cwnd_) / cwnd_;
+  } else {
+    cwnd_ += 0.01 / cwnd_;  // slow float while under the cubic curve
+  }
+}
+
+void CubicSender::on_loss(const LossInfo& loss) {
+  now_s_ = std::max(now_s_, loss.detect_time_s);
+  // React at most once per RTT (one decrease per loss episode).
+  if (now_s_ - last_decrease_s_ < srtt_s_) return;
+  last_decrease_s_ = now_s_;
+  w_max_ = cwnd_;
+  cwnd_ = std::max(cwnd_ * params_.beta, params_.min_cwnd);
+  ssthresh_ = cwnd_;
+  epoch_start_s_ = -1.0;
+}
+
+double CubicSender::pacing_rate_bps() const {
+  return std::max(cwnd_ * params_.packet_bits / std::max(srtt_s_, 1e-3), 1e4);
+}
+
+RenoSender::RenoSender(Params params) : params_(std::move(params)) {
+  if (params_.packet_bits <= 0.0 || params_.initial_cwnd < 1.0) {
+    throw std::invalid_argument{"RenoSender: bad parameters"};
+  }
+  start(0.0);
+}
+
+void RenoSender::start(double /*now_s*/) {
+  cwnd_ = params_.initial_cwnd;
+  ssthresh_ = params_.initial_ssthresh;
+  srtt_s_ = params_.initial_rtt_s;
+  last_decrease_s_ = -1e9;
+}
+
+void RenoSender::on_ack(const AckInfo& ack) {
+  srtt_s_ = update_srtt(srtt_s_, ack.rtt_s);
+  if (in_slow_start()) {
+    cwnd_ += 1.0;
+  } else {
+    cwnd_ += 1.0 / cwnd_;  // additive increase: one packet per RTT
+  }
+}
+
+void RenoSender::on_loss(const LossInfo& loss) {
+  if (loss.detect_time_s - last_decrease_s_ < srtt_s_) return;
+  last_decrease_s_ = loss.detect_time_s;
+  cwnd_ = std::max(cwnd_ * 0.5, params_.min_cwnd);
+  ssthresh_ = cwnd_;
+}
+
+double RenoSender::pacing_rate_bps() const {
+  return std::max(cwnd_ * params_.packet_bits / std::max(srtt_s_, 1e-3), 1e4);
+}
+
+}  // namespace netadv::cc

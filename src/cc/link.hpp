@@ -1,0 +1,68 @@
+// The bottleneck link model: a FIFO queue served at the commanded bandwidth,
+// a propagation delay each way, Bernoulli random loss, and tail drop at a
+// finite buffer. Conditions (bandwidth / latency / loss) are mutable at any
+// time — that is exactly the control surface the paper's adversary drives
+// through its modified Mahimahi, reproduced here as a deterministic
+// fluid-queue model.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace netadv::cc {
+
+struct LinkConditions {
+  double bandwidth_mbps = 12.0;
+  double one_way_delay_ms = 30.0;
+  double loss_rate = 0.0;
+};
+
+/// Outcome of offering one packet to the link at a given time.
+struct TransmitResult {
+  enum class Kind { kDelivered, kRandomLoss, kTailDrop };
+  Kind kind = Kind::kDelivered;
+  double queue_delay_s = 0.0;     ///< time spent waiting for the server
+  double delivery_time_s = 0.0;   ///< arrival at the receiver (delivered only)
+  double ack_return_time_s = 0.0; ///< ACK back at the sender (delivered only)
+};
+
+class LinkSim {
+ public:
+  struct Params {
+    LinkConditions initial{};
+    double packet_bytes = 1500.0;
+    /// Tail-drop threshold: maximum queueing delay the buffer can hold,
+    /// in seconds (a delay-bounded buffer keeps the drop point meaningful
+    /// across the adversary's bandwidth changes).
+    double max_queue_delay_s = 0.25;
+  };
+
+  LinkSim() : LinkSim(Params{}) {}
+  explicit LinkSim(Params params);
+
+  /// Update conditions (takes effect for packets offered from now on).
+  void set_conditions(const LinkConditions& conditions);
+  const LinkConditions& conditions() const noexcept { return conditions_; }
+
+  double packet_bits() const noexcept { return packet_bytes_ * 8.0; }
+  double packet_bytes() const noexcept { return packet_bytes_; }
+
+  /// Queueing delay a packet offered at `now` would experience.
+  double backlog_delay_s(double now_s) const;
+
+  /// Offer one packet at time `now`. Random loss consumes entropy from
+  /// `rng`; tail drop is deterministic from the backlog.
+  TransmitResult transmit(double now_s, util::Rng& rng);
+
+  /// Forget all queued traffic (new connection on a fresh link).
+  void reset();
+
+ private:
+  LinkConditions conditions_;
+  double packet_bytes_;
+  double max_queue_delay_s_;
+  double server_free_at_s_ = 0.0;  ///< when the serializer finishes its backlog
+};
+
+}  // namespace netadv::cc

@@ -1,0 +1,144 @@
+#include "cc/runner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "cc/bbr.hpp"
+
+namespace netadv::cc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double IntervalStats::utilization() const noexcept {
+  if (capacity_bits <= 0.0) return 0.0;
+  return std::min(1.0, delivered_bits / capacity_bits);
+}
+
+CcRunner::CcRunner(CcSender& sender, LinkSim::Params link_params,
+                   std::uint64_t seed)
+    : sender_(&sender), link_(link_params), rng_(seed) {
+  sender_->start(0.0);
+  last_rtt_s_ = 2.0 * link_.conditions().one_way_delay_ms / 1000.0;
+}
+
+void CcRunner::set_conditions(const LinkConditions& conditions) {
+  // Close the capacity integral under the old bandwidth up to now, then
+  // switch; advance_clock resumes the integral under the new bandwidth.
+  link_.set_conditions(conditions);
+}
+
+void CcRunner::advance_clock(double t_s) {
+  if (t_s < now_s_) throw std::logic_error{"CcRunner: time went backwards"};
+  interval_.capacity_bits +=
+      (t_s - now_s_) * link_.conditions().bandwidth_mbps * 1e6;
+  now_s_ = t_s;
+}
+
+double CcRunner::next_send_time() const {
+  if (inflight_ >= sender_->cwnd_packets()) return kInf;
+  return std::max(now_s_, send_allowed_at_s_);
+}
+
+void CcRunner::send_packet() {
+  const double pkt_bits = link_.packet_bits();
+  const double rate = sender_->pacing_rate_bps();
+  send_allowed_at_s_ = now_s_ + pkt_bits / rate;
+
+  const std::uint64_t id = next_packet_id_++;
+  const TransmitResult result = link_.transmit(now_s_, rng_);
+  ++inflight_;
+  ++total_sent_;
+  ++interval_.packets_sent;
+
+  if (result.kind == TransmitResult::Kind::kDelivered) {
+    Event e;
+    e.kind = Event::Kind::kAck;
+    e.time_s = result.ack_return_time_s;
+    e.ack.packet_id = id;
+    e.ack.send_time_s = now_s_;
+    e.ack.ack_time_s = result.ack_return_time_s;
+    e.ack.rtt_s = result.ack_return_time_s - now_s_;
+    e.ack.delivered_at_send = delivered_;
+    e.ack.delivered_time_at_send_s = delivered_time_s_;
+    events_.push(e);
+    queue_delay_sum_s_ += result.queue_delay_s;
+  } else {
+    // Drop: the stack notices roughly one RTT after the send.
+    Event e;
+    e.kind = Event::Kind::kLoss;
+    e.time_s = now_s_ + std::max(last_rtt_s_,
+                                 2.0 * link_.conditions().one_way_delay_ms /
+                                     1000.0);
+    e.loss.packet_id = id;
+    e.loss.send_time_s = now_s_;
+    e.loss.detect_time_s = e.time_s;
+    events_.push(e);
+  }
+}
+
+void CcRunner::process_event(const Event& event) {
+  if (event.kind == Event::Kind::kAck) {
+    --inflight_;
+    ++delivered_;
+    delivered_time_s_ = event.time_s;
+    ++total_delivered_;
+    ++interval_.packets_delivered;
+    interval_.delivered_bits += link_.packet_bits();
+    rtt_sum_s_ += event.ack.rtt_s;
+    last_rtt_s_ = event.ack.rtt_s;
+
+    AckInfo ack = event.ack;
+    ack.delivered = delivered_;
+    if (auto* bbr = dynamic_cast<BbrSender*>(sender_)) {
+      bbr->set_inflight(inflight_);
+    }
+    sender_->on_ack(ack);
+  } else {
+    --inflight_;
+    ++total_lost_;
+    ++interval_.packets_lost;
+    if (auto* bbr = dynamic_cast<BbrSender*>(sender_)) {
+      bbr->set_inflight(inflight_);
+    }
+    sender_->on_loss(event.loss);
+  }
+}
+
+void CcRunner::run_until(double t_s) {
+  if (t_s < now_s_) throw std::invalid_argument{"CcRunner: run_until in the past"};
+  while (true) {
+    const double t_event = events_.empty() ? kInf : events_.top().time_s;
+    const double t_send = next_send_time();
+    const double t_next = std::min(t_event, t_send);
+    if (t_next > t_s) break;
+    advance_clock(t_next);
+    if (t_send <= t_event) {
+      send_packet();
+    } else {
+      const Event event = events_.top();
+      events_.pop();
+      process_event(event);
+    }
+  }
+  advance_clock(t_s);
+}
+
+IntervalStats CcRunner::collect() {
+  IntervalStats stats = interval_;
+  stats.duration_s = now_s_ - interval_start_s_;
+  if (stats.packets_delivered > 0) {
+    stats.mean_queue_delay_s =
+        queue_delay_sum_s_ / static_cast<double>(stats.packets_delivered);
+    stats.mean_rtt_s = rtt_sum_s_ / static_cast<double>(stats.packets_delivered);
+  }
+  interval_ = IntervalStats{};
+  interval_start_s_ = now_s_;
+  queue_delay_sum_s_ = 0.0;
+  rtt_sum_s_ = 0.0;
+  return stats;
+}
+
+}  // namespace netadv::cc

@@ -1,0 +1,106 @@
+// Discrete-event driver for one congestion-controlled flow over a LinkSim:
+// paces packets at the sender's rate (gated by its cwnd), returns ACKs after
+// the path delay, and notifies the sender of drops one RTT later. The
+// adversary environment advances it in 30-ms epochs, changing link
+// conditions between epochs and reading the per-epoch utilization and
+// queueing delay that form its observation and reward.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "cc/link.hpp"
+#include "cc/sender.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::cc {
+
+/// What happened on the link since the previous collect().
+struct IntervalStats {
+  double duration_s = 0.0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;  ///< ACKed at the sender
+  std::uint64_t packets_lost = 0;       ///< random loss + tail drop
+  double delivered_bits = 0.0;
+  double capacity_bits = 0.0;           ///< integral of bandwidth over time
+  double mean_queue_delay_s = 0.0;      ///< over packets delivered
+  double mean_rtt_s = 0.0;              ///< over ACKs received
+
+  /// Delivered / capacity, clamped to [0, 1]; 0 when no capacity elapsed.
+  double utilization() const noexcept;
+  double throughput_mbps() const noexcept {
+    return duration_s > 0.0 ? delivered_bits / duration_s / 1e6 : 0.0;
+  }
+};
+
+class CcRunner {
+ public:
+  CcRunner(CcSender& sender, LinkSim::Params link_params, std::uint64_t seed);
+
+  double now_s() const noexcept { return now_s_; }
+  double inflight_packets() const noexcept { return inflight_; }
+
+  /// Change link conditions from the current simulation time onward.
+  void set_conditions(const LinkConditions& conditions);
+  const LinkConditions& conditions() const noexcept {
+    return link_.conditions();
+  }
+
+  /// Advance the simulation to absolute time `t_s` (>= now()).
+  void run_until(double t_s);
+
+  /// Stats since the previous collect() (or construction), then reset.
+  IntervalStats collect();
+
+  // Lifetime totals.
+  std::uint64_t total_sent() const noexcept { return total_sent_; }
+  std::uint64_t total_delivered() const noexcept { return total_delivered_; }
+  std::uint64_t total_lost() const noexcept { return total_lost_; }
+
+ private:
+  struct Event {
+    enum class Kind { kAck, kLoss };
+    double time_s = 0.0;
+    Kind kind = Kind::kAck;
+    AckInfo ack;
+    LossInfo loss;
+    bool operator>(const Event& other) const noexcept {
+      return time_s > other.time_s;
+    }
+  };
+
+  void advance_clock(double t_s);
+  void send_packet();
+  void process_event(const Event& event);
+  double next_send_time() const;
+
+  CcSender* sender_;
+  LinkSim link_;
+  util::Rng rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+
+  double now_s_ = 0.0;
+  double send_allowed_at_s_ = 0.0;
+  double inflight_ = 0.0;
+  double last_rtt_s_ = 0.0;
+
+  // Sender-side delivery bookkeeping for BBR's rate samples.
+  std::uint64_t delivered_ = 0;
+  double delivered_time_s_ = 0.0;
+  std::uint64_t next_packet_id_ = 0;
+
+  // Interval accumulators.
+  IntervalStats interval_{};
+  double interval_start_s_ = 0.0;
+  double queue_delay_sum_s_ = 0.0;
+  double rtt_sum_s_ = 0.0;
+
+  // Totals.
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_lost_ = 0;
+};
+
+}  // namespace netadv::cc

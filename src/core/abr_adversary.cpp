@@ -1,0 +1,219 @@
+#include "core/abr_adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::core {
+
+AbrAdversaryEnv::AbrAdversaryEnv(abr::VideoManifest manifest,
+                                 abr::AbrProtocol& protocol, Params params)
+    : manifest_(std::move(manifest)),
+      protocol_(&protocol),
+      params_(params),
+      session_(manifest_),
+      tracker_(manifest_) {
+  if (params_.bandwidth_min_mbps <= 0.0 ||
+      params_.bandwidth_max_mbps <= params_.bandwidth_min_mbps) {
+    throw std::invalid_argument{"AbrAdversaryEnv: bad bandwidth range"};
+  }
+  if (params_.opt_window == 0 || params_.history == 0) {
+    throw std::invalid_argument{"AbrAdversaryEnv: bad window parameters"};
+  }
+  if (!params_.base_trace.empty() && params_.max_perturbation_mbps <= 0.0) {
+    throw std::invalid_argument{"AbrAdversaryEnv: bad max_perturbation"};
+  }
+}
+
+std::size_t AbrAdversaryEnv::observation_size() const {
+  return params_.obs_mode == ObsMode::kTimeOnly ? 1
+                                                : params_.history * tuple_size();
+}
+
+rl::ActionSpec AbrAdversaryEnv::action_spec() const {
+  if (!params_.base_trace.empty()) {
+    return rl::ActionSpec::continuous({-params_.max_perturbation_mbps},
+                                      {params_.max_perturbation_mbps});
+  }
+  return rl::ActionSpec::continuous({params_.bandwidth_min_mbps},
+                                    {params_.bandwidth_max_mbps});
+}
+
+rl::Vec AbrAdversaryEnv::flatten_history() const {
+  if (params_.obs_mode == ObsMode::kTimeOnly) {
+    return {static_cast<double>(session_.next_chunk()) /
+            static_cast<double>(manifest_.num_chunks())};
+  }
+  rl::Vec out;
+  out.reserve(observation_size());
+  // Most recent tuple first; zero-pad to the fixed history length.
+  for (std::size_t i = 0; i < params_.history; ++i) {
+    if (i < history_.size()) {
+      const ObsTuple& t = history_[i];
+      out.push_back(t.prev_bitrate_mbps);
+      out.push_back(t.buffer_s);
+      for (double bits : t.next_sizes_bits) out.push_back(bits / 1e6);
+      out.push_back(t.remaining_frac);
+      out.push_back(t.throughput_mbps);
+      out.push_back(t.download_time_s);
+    } else {
+      for (std::size_t k = 0; k < tuple_size(); ++k) out.push_back(0.0);
+    }
+  }
+  return out;
+}
+
+void AbrAdversaryEnv::push_tuple(ObsTuple tuple) {
+  history_.push_front(std::move(tuple));
+  while (history_.size() > params_.history) history_.pop_back();
+}
+
+rl::Vec AbrAdversaryEnv::reset(util::Rng& /*rng*/) {
+  session_.restart();
+  tracker_ = abr::AbrObservationTracker{manifest_};
+  protocol_->begin_video(manifest_);
+  history_.clear();
+  window_.clear();
+  episode_bandwidths_.clear();
+  episode_qualities_.clear();
+  episode_buffers_.clear();
+  episode_rebuffers_.clear();
+  last_reward_ = AdversaryReward{};
+  episode_active_ = true;
+
+  // Initial observation: what the protocol is about to see.
+  ObsTuple first;
+  first.prev_bitrate_mbps = manifest_.bitrate_mbps(0);
+  first.buffer_s = 0.0;
+  first.next_sizes_bits = manifest_.chunk_sizes_bits(0);
+  first.remaining_frac = 1.0;
+  push_tuple(std::move(first));
+  return flatten_history();
+}
+
+rl::StepResult AbrAdversaryEnv::step(const rl::Vec& action,
+                                     util::Rng& /*rng*/) {
+  if (!episode_active_) throw std::logic_error{"AbrAdversaryEnv: step before reset"};
+  const rl::Vec physical = action_spec().to_physical(action);
+  double bandwidth = physical[0];
+  if (!params_.base_trace.empty()) {
+    // Perturbation mode: the action is a delta around the base test case.
+    const std::size_t chunk =
+        std::min(session_.next_chunk(), params_.base_trace.size() - 1);
+    bandwidth = std::clamp(
+        params_.base_trace[chunk].bandwidth_mbps + physical[0],
+        params_.bandwidth_min_mbps, params_.bandwidth_max_mbps);
+  }
+
+  // Record the protocol's pre-chunk state for the r_opt window.
+  WindowEntry entry;
+  entry.chunk = session_.next_chunk();
+  entry.buffer_before_s = session_.buffer_s();
+  entry.prev_bitrate_mbps = tracker_.current().last_bitrate_mbps;
+
+  // Let the target choose, then stream the chunk under our conditions.
+  tracker_.sync_session(session_.next_chunk(), session_.remaining_chunks(),
+                        session_.buffer_s());
+  const std::size_t quality = protocol_->choose_quality(tracker_.current());
+  if (quality >= manifest_.num_qualities()) {
+    throw std::logic_error{"AbrAdversaryEnv: protocol returned bad quality"};
+  }
+  const abr::DownloadResult result = session_.download_next(quality, bandwidth);
+  tracker_.on_chunk(quality, result.bitrate_mbps, result.throughput_mbps,
+                    result.download_time_s);
+
+  entry.bandwidth_mbps = bandwidth;
+  entry.quality = quality;
+  window_.push_back(entry);
+  while (window_.size() > params_.opt_window) window_.pop_front();
+
+  episode_bandwidths_.push_back(bandwidth);
+  episode_qualities_.push_back(quality);
+  episode_buffers_.push_back(result.buffer_after_s);
+  episode_rebuffers_.push_back(result.rebuffer_s);
+
+  // Equation 1 over the trailing window of network changes. The optimal and
+  // protocol terms depend on the configured goal (Section 5's "different
+  // adversarial goals"); kQoeRegret is the paper's headline objective.
+  const WindowEntry& start = window_.front();
+  std::vector<double> bandwidths;
+  std::vector<std::size_t> qualities;
+  for (const auto& w : window_) {
+    bandwidths.push_back(w.bandwidth_mbps);
+    qualities.push_back(w.quality);
+  }
+  switch (params_.goal) {
+    case Goal::kQoeRegret:
+      last_reward_.optimal = abr::optimal_window_qoe(
+          manifest_, start.chunk, start.buffer_before_s,
+          start.prev_bitrate_mbps, bandwidths, params_.qoe);
+      last_reward_.protocol = abr::window_qoe(
+          manifest_, start.chunk, start.buffer_before_s,
+          start.prev_bitrate_mbps, qualities, bandwidths, params_.qoe);
+      break;
+    case Goal::kRebuffering: {
+      // "an ABR adversary could be created with the specific goal of
+      // causing rebuffering": optimal stall is what perfect foresight would
+      // have suffered (usually 0); protocol term is the negated stall it
+      // actually caused, so stall beyond the unavoidable pays the adversary.
+      double window_rebuffer = 0.0;
+      const std::size_t n = std::min(params_.opt_window, episode_rebuffers_.size());
+      for (std::size_t k = episode_rebuffers_.size() - n;
+           k < episode_rebuffers_.size(); ++k) {
+        window_rebuffer += episode_rebuffers_[k];
+      }
+      last_reward_.optimal = 0.0;
+      last_reward_.protocol = -window_rebuffer;
+      break;
+    }
+    case Goal::kLowBitrate: {
+      // "...or low bit-rate playback": reward the gap between the mean
+      // offered bandwidth (a bitrate an omniscient controller could stream)
+      // and the mean bitrate the target actually played.
+      double offered = 0.0;
+      double played = 0.0;
+      for (std::size_t k = 0; k < window_.size(); ++k) {
+        offered += std::min(bandwidths[k], manifest_.max_bitrate_mbps());
+        played += manifest_.bitrate_mbps(qualities[k]);
+      }
+      last_reward_.optimal = offered;
+      last_reward_.protocol = played;
+      break;
+    }
+  }
+  const double prev_bw = episode_bandwidths_.size() >= 2
+                             ? episode_bandwidths_[episode_bandwidths_.size() - 2]
+                             : bandwidth;
+  last_reward_.smoothing =
+      params_.smoothing_weight * std::abs(bandwidth - prev_bw);
+
+  if (params_.per_chunk_reward) {
+    const auto n = static_cast<double>(window_.size());
+    last_reward_.optimal /= n;
+    last_reward_.protocol /= n;
+  }
+
+  rl::StepResult step_result;
+  step_result.reward = last_reward_.value();
+  step_result.done = session_.finished();
+  episode_active_ = !step_result.done;
+
+  // Update the adversary's view with what it just observed.
+  ObsTuple tuple;
+  tuple.prev_bitrate_mbps = result.bitrate_mbps;
+  tuple.buffer_s = session_.buffer_s();
+  tuple.next_sizes_bits =
+      step_result.done
+          ? std::vector<double>(manifest_.num_qualities(), 0.0)
+          : manifest_.chunk_sizes_bits(session_.next_chunk());
+  tuple.remaining_frac = static_cast<double>(session_.remaining_chunks()) /
+                         static_cast<double>(manifest_.num_chunks());
+  tuple.throughput_mbps = result.throughput_mbps;
+  tuple.download_time_s = result.download_time_s;
+  push_tuple(std::move(tuple));
+
+  step_result.observation = flatten_history();
+  return step_result;
+}
+
+}  // namespace netadv::core

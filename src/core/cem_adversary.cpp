@@ -1,0 +1,112 @@
+#include "core/cem_adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "abr/runner.hpp"
+
+namespace netadv::core {
+
+CemTraceAdversary::CemTraceAdversary(Params params) : params_(params) {
+  if (params_.population < 2 || params_.elites == 0 ||
+      params_.elites > params_.population || params_.iterations == 0 ||
+      params_.bandwidth_max_mbps <= params_.bandwidth_min_mbps ||
+      params_.initial_std_frac <= 0.0 || params_.min_std_frac <= 0.0) {
+    throw std::invalid_argument{"CemTraceAdversary: bad parameters"};
+  }
+}
+
+CemTraceAdversary::Result CemTraceAdversary::search(
+    const abr::VideoManifest& manifest, abr::AbrProtocol& protocol,
+    util::Rng& rng) const {
+  const std::size_t dims = manifest.num_chunks();
+  const double range =
+      params_.bandwidth_max_mbps - params_.bandwidth_min_mbps;
+  const double mid =
+      0.5 * (params_.bandwidth_min_mbps + params_.bandwidth_max_mbps);
+
+  std::vector<double> mean(dims, mid);
+  std::vector<double> std_dev(dims, params_.initial_std_frac * range);
+  const double std_floor = params_.min_std_frac * range;
+
+  auto make_trace = [&](const std::vector<double>& bandwidths) {
+    trace::Trace t;
+    for (double bw : bandwidths) {
+      t.append({manifest.chunk_duration_s(),
+                std::clamp(bw, params_.bandwidth_min_mbps,
+                           params_.bandwidth_max_mbps),
+                80.0, 0.0});
+    }
+    return t;
+  };
+
+  Result result;
+  abr::OptimalParams opt_params;
+  opt_params.qoe = params_.qoe;
+
+  struct Scored {
+    std::vector<double> genome;
+    double objective;
+    double regret;
+  };
+
+  for (std::size_t iter = 0; iter < params_.iterations; ++iter) {
+    std::vector<Scored> population;
+    population.reserve(params_.population);
+    for (std::size_t p = 0; p < params_.population; ++p) {
+      std::vector<double> genome(dims);
+      for (std::size_t d = 0; d < dims; ++d) {
+        genome[d] = std::clamp(rng.normal(mean[d], std_dev[d]),
+                               params_.bandwidth_min_mbps,
+                               params_.bandwidth_max_mbps);
+      }
+      const trace::Trace candidate = make_trace(genome);
+      const double protocol_qoe =
+          abr::run_playback(protocol, manifest, candidate, params_.qoe)
+              .total_qoe;
+      const double optimal_qoe =
+          abr::optimal_playback(manifest, candidate, opt_params).total_qoe;
+      const double regret = optimal_qoe - protocol_qoe;
+      const double objective =
+          regret -
+          params_.smoothing_weight * candidate.bandwidth_total_variation();
+      ++result.evaluations;
+      population.push_back({std::move(genome), objective, regret});
+    }
+
+    std::partial_sort(population.begin(),
+                      population.begin() + params_.elites, population.end(),
+                      [](const Scored& a, const Scored& b) {
+                        return a.objective > b.objective;
+                      });
+
+    if (population.front().objective > result.best_objective) {
+      result.best_objective = population.front().objective;
+      result.best_regret = population.front().regret;
+      result.best_trace = make_trace(population.front().genome);
+    }
+    result.objective_history.push_back(result.best_objective);
+
+    // Refit the sampling distribution to the elites.
+    for (std::size_t d = 0; d < dims; ++d) {
+      double m = 0.0;
+      for (std::size_t e = 0; e < params_.elites; ++e) {
+        m += population[e].genome[d];
+      }
+      m /= static_cast<double>(params_.elites);
+      double var = 0.0;
+      for (std::size_t e = 0; e < params_.elites; ++e) {
+        const double diff = population[e].genome[d] - m;
+        var += diff * diff;
+      }
+      var /= static_cast<double>(params_.elites);
+      mean[d] = m;
+      std_dev[d] = std::max(std::sqrt(var), std_floor);
+    }
+  }
+  return result;
+}
+
+}  // namespace netadv::core

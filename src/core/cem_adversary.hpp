@@ -1,0 +1,66 @@
+// A true *trace-based* adversary (the Section-2.1 alternative the paper
+// discusses and sets aside): the whole trace is one decision, evaluated by
+// replaying the target protocol over it. Because "each trace constitutes
+// only a single data point", gradient-free search fits better than RL here;
+// this implementation uses the cross-entropy method (CEM) over the vector
+// of per-chunk bandwidths.
+//
+// Objective per candidate trace (mirrors Equation 1 at whole-video scope):
+//   offline-optimal QoE  −  target's QoE  −  w_s * bandwidth total variation.
+//
+// Its products are, by construction, perfectly replayable — the advantage
+// the paper credits trace-based adversaries — at the cost of far worse
+// sample-efficiency (bench_ablation_online quantifies the comparison).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abr/optimal.hpp"
+#include "abr/protocol.hpp"
+#include "abr/qoe.hpp"
+#include "abr/video.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::core {
+
+class CemTraceAdversary {
+ public:
+  struct Params {
+    std::size_t population = 32;
+    std::size_t elites = 8;
+    std::size_t iterations = 20;
+    double bandwidth_min_mbps = 0.8;
+    double bandwidth_max_mbps = 4.8;
+    /// Initial sampling std as a fraction of the bandwidth range.
+    double initial_std_frac = 0.3;
+    /// Std floor (fraction of range) preventing premature collapse.
+    double min_std_frac = 0.02;
+    double smoothing_weight = 1.0;
+    abr::QoeParams qoe{};
+  };
+
+  CemTraceAdversary() : CemTraceAdversary(Params{}) {}
+  explicit CemTraceAdversary(Params params);
+
+  struct Result {
+    trace::Trace best_trace;
+    double best_objective = -1e18;  ///< regret minus smoothing penalty
+    double best_regret = 0.0;       ///< optimal QoE - protocol QoE
+    /// Best objective after each CEM iteration (for convergence plots).
+    std::vector<double> objective_history;
+    std::size_t evaluations = 0;    ///< protocol playbacks consumed
+  };
+
+  /// Search for a trace maximizing the target's optimality gap.
+  Result search(const abr::VideoManifest& manifest,
+                abr::AbrProtocol& protocol, util::Rng& rng) const;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace netadv::core

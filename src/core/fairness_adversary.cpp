@@ -1,0 +1,150 @@
+#include "core/fairness_adversary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cc/bbr.hpp"
+
+namespace netadv::core {
+
+FairnessAdversaryEnv::FairnessAdversaryEnv(Params params,
+                                           std::vector<SenderFactory> factories)
+    : params_(params), factories_(std::move(factories)) {
+  if (params_.bandwidth_min_mbps <= 0.0 ||
+      params_.bandwidth_max_mbps <= params_.bandwidth_min_mbps ||
+      params_.latency_max_ms < params_.latency_min_ms ||
+      params_.loss_min < 0.0 || params_.loss_max > 1.0 ||
+      params_.loss_max < params_.loss_min || params_.epoch_s <= 0.0 ||
+      params_.episode_duration_s < params_.epoch_s ||
+      params_.stagger_s < 0.0) {
+    throw std::invalid_argument{"FairnessAdversaryEnv: bad parameters"};
+  }
+  if (factories_.empty()) {
+    const auto make_bbr = [] {
+      return std::unique_ptr<cc::CcSender>(std::make_unique<cc::BbrSender>());
+    };
+    factories_ = {make_bbr, make_bbr};
+  }
+  if (factories_.size() < 2) {
+    throw std::invalid_argument{"FairnessAdversaryEnv: need >= 2 flows"};
+  }
+  for (const auto& f : factories_) {
+    if (!f) throw std::invalid_argument{"FairnessAdversaryEnv: null factory"};
+  }
+}
+
+rl::ActionSpec FairnessAdversaryEnv::action_spec() const {
+  return rl::ActionSpec::continuous(
+      {params_.bandwidth_min_mbps, params_.latency_min_ms, params_.loss_min},
+      {params_.bandwidth_max_mbps, params_.latency_max_ms, params_.loss_max});
+}
+
+rl::Vec FairnessAdversaryEnv::observe() const {
+  const auto tput = last_interval_.throughputs_mbps();
+  double total = 0.0;
+  for (double t : tput) total += t;
+  const double share0 = total > 0.0 && !tput.empty() ? tput[0] / total : 0.5;
+  double qdelay = 0.0;
+  // Approximate path queueing from the flows' mean RTT above the base RTT.
+  if (!last_interval_.flows.empty()) {
+    const double base_rtt =
+        2.0 * params_.link.initial.one_way_delay_ms / 1000.0;
+    double rtt_sum = 0.0;
+    std::size_t n = 0;
+    for (const auto& f : last_interval_.flows) {
+      if (f.packets_delivered > 0) {
+        rtt_sum += f.mean_rtt_s;
+        ++n;
+      }
+    }
+    if (n > 0) qdelay = std::max(0.0, rtt_sum / static_cast<double>(n) - base_rtt);
+  }
+  return {share0, last_interval_.aggregate_utilization(),
+          std::min(1.0, qdelay / params_.queue_delay_scale_s)};
+}
+
+rl::Vec FairnessAdversaryEnv::reset(util::Rng& rng) {
+  senders_.clear();
+  std::vector<cc::CcSender*> raw;
+  for (const auto& factory : factories_) {
+    senders_.push_back(factory());
+    raw.push_back(senders_.back().get());
+  }
+  cc::LinkSim::Params link = params_.link;
+  link.initial.bandwidth_mbps =
+      0.5 * (params_.bandwidth_min_mbps + params_.bandwidth_max_mbps);
+  link.initial.one_way_delay_ms =
+      0.5 * (params_.latency_min_ms + params_.latency_max_ms);
+  link.initial.loss_rate = 0.0;
+  std::vector<double> starts;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    starts.push_back(static_cast<double>(i) * params_.stagger_s);
+  }
+  runner_ = std::make_unique<cc::MultiFlowRunner>(raw, link, rng(), starts);
+  epoch_index_ = 0;
+  last_reward_ = AdversaryReward{};
+  last_jain_ = 1.0;
+  ewma_initialized_ = false;
+
+  runner_->run_until(params_.epoch_s);
+  last_interval_ = runner_->collect();
+  ++epoch_index_;
+  return observe();
+}
+
+rl::StepResult FairnessAdversaryEnv::step(const rl::Vec& action,
+                                          util::Rng& /*rng*/) {
+  if (!runner_) throw std::logic_error{"FairnessAdversaryEnv: step before reset"};
+
+  const rl::Vec physical = action_spec().to_physical(action);
+  const double bandwidth = physical[0];
+  const double latency = physical[1];
+  const double loss = physical[2];
+
+  runner_->set_conditions({bandwidth, latency, loss});
+  const double t_end = static_cast<double>(epoch_index_ + 1) * params_.epoch_s;
+  runner_->run_until(t_end);
+  last_interval_ = runner_->collect();
+  ++epoch_index_;
+
+  const double bw_norm = (bandwidth - params_.bandwidth_min_mbps) /
+                         (params_.bandwidth_max_mbps - params_.bandwidth_min_mbps);
+  const double lat_norm =
+      params_.latency_max_ms > params_.latency_min_ms
+          ? (latency - params_.latency_min_ms) /
+                (params_.latency_max_ms - params_.latency_min_ms)
+          : 0.0;
+  if (!ewma_initialized_) {
+    ewma_bw_norm_ = bw_norm;
+    ewma_lat_norm_ = lat_norm;
+    ewma_initialized_ = true;
+  }
+  const double smoothing_raw =
+      std::abs(bw_norm - ewma_bw_norm_) + std::abs(lat_norm - ewma_lat_norm_);
+  ewma_bw_norm_ += params_.ewma_alpha * (bw_norm - ewma_bw_norm_);
+  ewma_lat_norm_ += params_.ewma_alpha * (lat_norm - ewma_lat_norm_);
+
+  // Jain of 1 is attainable (fair sharing); the adversary is paid for the
+  // gap it opens, Equation-1 style. Before the last flow has started the
+  // imbalance is structural, not earned: gate the reward at jain = 1.
+  const double all_started_at =
+      static_cast<double>(factories_.size() - 1) * params_.stagger_s;
+  last_jain_ = cc::jain_fairness_index(last_interval_.throughputs_mbps());
+  if (last_interval_.flows.empty() ||
+      last_interval_.aggregate_utilization() <= 0.0 ||
+      runner_->now_s() <= all_started_at + params_.epoch_s) {
+    last_jain_ = 1.0;  // nothing earned yet
+  }
+  last_reward_.optimal = 1.0;
+  last_reward_.protocol = last_jain_ + loss;
+  last_reward_.smoothing = params_.smoothing_coefficient * smoothing_raw;
+
+  rl::StepResult result;
+  result.reward = last_reward_.value();
+  result.done = epoch_index_ >= epochs_per_episode();
+  result.observation = observe();
+  return result;
+}
+
+}  // namespace netadv::core

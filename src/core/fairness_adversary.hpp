@@ -1,0 +1,92 @@
+// The fairness adversary — a Section-5 direction made concrete: learn link
+// conditions under which two flows sharing the bottleneck diverge, even
+// though fair sharing is attainable. Every knob and constraint mirrors the
+// paper's CC adversary (Table 1 ranges, 30-ms epochs, smoothing via EWMAs);
+// only the objective changes:
+//
+//     r = (1 - Jain(throughputs)) - L - 0.01 * S
+//
+// i.e. the adversary is paid for unfairness it induces, charged for loss it
+// injects (random loss hits both flows symmetrically, so it cannot create
+// unfairness "for free"), and penalized for noisy traces.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cc/link.hpp"
+#include "cc/multiflow.hpp"
+#include "cc/sender.hpp"
+#include "core/reward.hpp"
+#include "rl/env.hpp"
+
+namespace netadv::core {
+
+class FairnessAdversaryEnv final : public rl::Env {
+ public:
+  using SenderFactory = std::function<std::unique_ptr<cc::CcSender>()>;
+
+  struct Params {
+    // Table 1 action ranges (same as CcAdversaryEnv).
+    double bandwidth_min_mbps = 6.0;
+    double bandwidth_max_mbps = 24.0;
+    double latency_min_ms = 15.0;
+    double latency_max_ms = 60.0;
+    double loss_min = 0.0;
+    double loss_max = 0.10;
+
+    double epoch_s = 0.030;
+    double episode_duration_s = 30.0;
+    /// Flow i starts at i * stagger_s: identical flows on a shared link are
+    /// symmetric, so without an offset a single-knob adversary has nothing
+    /// to grab; staggering desynchronizes their probing schedules. Reward is
+    /// gated to epochs where every flow has started.
+    double stagger_s = 5.0;
+    double smoothing_coefficient = 0.01;
+    double ewma_alpha = 0.1;
+    double queue_delay_scale_s = 0.25;
+    cc::LinkSim::Params link{};
+  };
+
+  /// `factories` build the competing flows each episode (default: two BBRs).
+  FairnessAdversaryEnv() : FairnessAdversaryEnv(Params{}) {}
+  explicit FairnessAdversaryEnv(Params params,
+                                std::vector<SenderFactory> factories = {});
+
+  std::string name() const override { return "fairness-adversary"; }
+  /// Observation: (flow-0 throughput share, aggregate utilization,
+  /// queueing delay) — what an on-path observer can measure.
+  std::size_t observation_size() const override { return 3; }
+  rl::ActionSpec action_spec() const override;
+  rl::Vec reset(util::Rng& rng) override;
+  rl::StepResult step(const rl::Vec& action, util::Rng& rng) override;
+
+  const AdversaryReward& last_reward() const noexcept { return last_reward_; }
+  double last_jain() const noexcept { return last_jain_; }
+  const Params& params() const noexcept { return params_; }
+  std::size_t epochs_per_episode() const noexcept {
+    return static_cast<std::size_t>(params_.episode_duration_s /
+                                    params_.epoch_s + 0.5);
+  }
+
+ private:
+  rl::Vec observe() const;
+
+  Params params_;
+  std::vector<SenderFactory> factories_;
+
+  std::vector<std::unique_ptr<cc::CcSender>> senders_;
+  std::unique_ptr<cc::MultiFlowRunner> runner_;
+  std::size_t epoch_index_ = 0;
+  cc::MultiFlowRunner::Interval last_interval_{};
+  AdversaryReward last_reward_{};
+  double last_jain_ = 1.0;
+
+  double ewma_bw_norm_ = 0.0;
+  double ewma_lat_norm_ = 0.0;
+  bool ewma_initialized_ = false;
+};
+
+}  // namespace netadv::core

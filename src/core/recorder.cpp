@@ -1,0 +1,146 @@
+#include "core/recorder.hpp"
+
+#include "cc/bbr.hpp"
+
+#include <stdexcept>
+
+namespace netadv::core {
+
+namespace {
+
+/// Drive one episode, collecting raw actions; returns them per step.
+std::vector<rl::Vec> run_episode(rl::PpoAgent& agent, rl::Env& env,
+                                 util::Rng& rng, bool deterministic) {
+  std::vector<rl::Vec> actions;
+  rl::Vec obs = env.reset(rng);
+  while (true) {
+    rl::Vec action = deterministic ? agent.act_deterministic(obs)
+                                   : agent.act_stochastic(obs, rng);
+    actions.push_back(action);
+    rl::StepResult result = env.step(action, rng);
+    if (result.done) break;
+    obs = std::move(result.observation);
+  }
+  return actions;
+}
+
+}  // namespace
+
+std::vector<trace::Trace> record_abr_traces(rl::PpoAgent& agent,
+                                            AbrAdversaryEnv& env,
+                                            std::size_t count, util::Rng& rng,
+                                            bool deterministic) {
+  std::vector<trace::Trace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    run_episode(agent, env, rng, deterministic);
+    trace::Trace t;
+    for (double bw : env.episode_bandwidths()) {
+      t.append({env.chunk_duration_s(), bw, 80.0, 0.0});
+    }
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+AbrEpisodeRecord record_abr_episode(rl::PpoAgent& agent, AbrAdversaryEnv& env,
+                                    util::Rng& rng, bool deterministic) {
+  AbrEpisodeRecord record;
+  rl::Vec obs = env.reset(rng);
+  double qoe = 0.0;
+  while (true) {
+    const rl::Vec action = deterministic ? agent.act_deterministic(obs)
+                                         : agent.act_stochastic(obs, rng);
+    rl::StepResult result = env.step(action, rng);
+    qoe += env.last_reward().protocol;  // per-window protocol QoE (diagnostic)
+    if (result.done) break;
+    obs = std::move(result.observation);
+  }
+  record.bandwidth_mbps = env.episode_bandwidths();
+  for (std::size_t q : env.episode_qualities()) {
+    record.bitrate_kbps.push_back(env.manifest().bitrate_kbps(q));
+  }
+  record.buffer_s = env.episode_buffers();
+  record.rebuffer_s = env.episode_rebuffers();
+
+  // Exact episode QoE from the recorded choices.
+  std::vector<double> bitrates_mbps;
+  for (double kbps : record.bitrate_kbps) bitrates_mbps.push_back(kbps / 1000.0);
+  record.total_qoe =
+      abr::total_qoe(bitrates_mbps, record.rebuffer_s, env.params().qoe);
+
+  for (double bw : record.bandwidth_mbps) {
+    record.trace.append({env.chunk_duration_s(), bw, 80.0, 0.0});
+  }
+  return record;
+}
+
+CcEpisodeRecord record_cc_episode(rl::PpoAgent& agent, CcAdversaryEnv& env,
+                                  util::Rng& rng, bool deterministic) {
+  CcEpisodeRecord record;
+  const rl::ActionSpec spec = env.action_spec();
+
+  rl::Vec obs = env.reset(rng);
+  double util_sum = 0.0;
+  std::size_t epochs = 0;
+  while (true) {
+    const rl::Vec raw = deterministic ? agent.act_deterministic(obs)
+                                      : agent.act_stochastic(obs, rng);
+    const rl::Vec physical = spec.to_physical(raw);
+
+    record.raw_bandwidth.push_back(raw[0]);
+    record.raw_latency.push_back(raw[1]);
+    record.raw_loss.push_back(raw[2]);
+    record.bandwidth_mbps.push_back(physical[0]);
+    record.latency_ms.push_back(physical[1]);
+    record.loss_rate.push_back(physical[2]);
+
+    rl::StepResult result = env.step(raw, rng);
+    if (const auto* bbr = dynamic_cast<const cc::BbrSender*>(env.sender())) {
+      record.bbr_mode.push_back(static_cast<int>(bbr->mode()));
+    } else {
+      record.bbr_mode.push_back(-1);
+    }
+    const cc::IntervalStats& stats = env.last_interval();
+    record.throughput_mbps.push_back(stats.throughput_mbps());
+    record.utilization.push_back(stats.utilization());
+    record.queue_delay_s.push_back(stats.mean_queue_delay_s);
+    util_sum += stats.utilization();
+    ++epochs;
+
+    record.trace.append({env.params().epoch_s, physical[0], physical[1],
+                         physical[2]});
+    if (result.done) break;
+    obs = std::move(result.observation);
+  }
+  record.mean_utilization = epochs > 0 ? util_sum / static_cast<double>(epochs)
+                                       : 0.0;
+  return record;
+}
+
+CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,
+                               const cc::LinkSim::Params& link_params,
+                               std::uint64_t seed) {
+  if (t.empty()) throw std::invalid_argument{"replay_cc_trace: empty trace"};
+  cc::CcRunner runner{sender, link_params, seed};
+  CcReplayResult result;
+  double now = 0.0;
+  double util_sum = 0.0;
+  double tput_sum = 0.0;
+  for (const auto& segment : t.segments()) {
+    runner.set_conditions({segment.bandwidth_mbps, segment.latency_ms,
+                           segment.loss_rate});
+    now += segment.duration_s;
+    runner.run_until(now);
+    const cc::IntervalStats stats = runner.collect();
+    result.throughput_mbps.push_back(stats.throughput_mbps());
+    util_sum += stats.utilization();
+    tput_sum += stats.throughput_mbps();
+  }
+  const auto n = static_cast<double>(t.size());
+  result.mean_utilization = util_sum / n;
+  result.mean_throughput_mbps = tput_sum / n;
+  return result;
+}
+
+}  // namespace netadv::core

@@ -1,0 +1,80 @@
+// Rolling trained adversaries out against their targets and recording what
+// happened — the bridge from an adversary policy to the paper's artifacts:
+//  * reusable adversarial traces (replayed against every protocol, Fig. 1-2);
+//  * per-chunk ABR episode timelines (Fig. 3);
+//  * per-epoch CC timelines with both physical conditions and the raw
+//    pre-clipping policy actions (Fig. 5 and Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/abr_adversary.hpp"
+#include "core/cc_adversary.hpp"
+#include "rl/ppo.hpp"
+#include "trace/trace.hpp"
+
+namespace netadv::core {
+
+/// Run the adversary online against the env's target `count` times and
+/// record each episode's bandwidth sequence as a replayable Trace (one
+/// segment per chunk). Stochastic actions give a diverse corpus, exactly how
+/// the paper's 200 traces were produced; deterministic gives the single
+/// noise-free trace.
+std::vector<trace::Trace> record_abr_traces(rl::PpoAgent& agent,
+                                            AbrAdversaryEnv& env,
+                                            std::size_t count, util::Rng& rng,
+                                            bool deterministic = false);
+
+/// Per-chunk timeline of one adversarial episode (Figure 3's panels).
+struct AbrEpisodeRecord {
+  std::vector<double> bandwidth_mbps;   ///< adversary's actions
+  std::vector<double> bitrate_kbps;     ///< target's selections
+  std::vector<double> buffer_s;         ///< client buffer after each chunk
+  std::vector<double> rebuffer_s;
+  double total_qoe = 0.0;
+  trace::Trace trace;                   ///< the same episode as a Trace
+};
+
+AbrEpisodeRecord record_abr_episode(rl::PpoAgent& agent, AbrAdversaryEnv& env,
+                                    util::Rng& rng,
+                                    bool deterministic = true);
+
+/// Per-epoch timeline of one CC adversarial episode.
+struct CcEpisodeRecord {
+  // Physical link conditions applied per epoch.
+  std::vector<double> bandwidth_mbps;
+  std::vector<double> latency_ms;
+  std::vector<double> loss_rate;
+  // Raw policy outputs before clipping (Figure 6 plots these).
+  std::vector<double> raw_bandwidth;
+  std::vector<double> raw_latency;
+  std::vector<double> raw_loss;
+  // Target's observed behaviour.
+  std::vector<double> throughput_mbps;
+  std::vector<double> utilization;
+  std::vector<double> queue_delay_s;
+  /// BBR state per epoch (cast of BbrSender::Mode; -1 if the target is not
+  /// BBR) — lets Figure 6 align adversary actions with probing phases.
+  std::vector<int> bbr_mode;
+  double mean_utilization = 0.0;
+  trace::Trace trace;  ///< per-epoch segments, replayable
+};
+
+CcEpisodeRecord record_cc_episode(rl::PpoAgent& agent, CcAdversaryEnv& env,
+                                  util::Rng& rng, bool deterministic = true);
+
+/// Replay a recorded CC trace (fixed conditions per segment) against a
+/// sender, ignoring the adversary: used to check that recorded traces
+/// reproduce the damage without re-running the adversary (Section 2.1).
+struct CcReplayResult {
+  double mean_utilization = 0.0;
+  double mean_throughput_mbps = 0.0;
+  std::vector<double> throughput_mbps;  ///< per segment
+};
+
+CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,
+                               const cc::LinkSim::Params& link_params,
+                               std::uint64_t seed);
+
+}  // namespace netadv::core

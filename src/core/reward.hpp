@@ -1,0 +1,27 @@
+// Equation 1 of the paper — the adversary's reward:
+//
+//     r_adversary = r_opt - r_protocol - p_smoothing
+//
+// The first two terms make the adversary hunt for conditions where the
+// target performs far below what is *attainable* (ruling out trivially
+// hostile networks); the smoothing penalty discourages gratuitous variation
+// so the surviving changes point at the exploited weakness (Section 2.1,
+// "Seeking explainable examples").
+#pragma once
+
+#include <cstddef>
+
+namespace netadv::core {
+
+struct AdversaryReward {
+  double optimal = 0.0;    ///< r_opt: best attainable performance
+  double protocol = 0.0;   ///< r_protocol: what the target actually got
+  double smoothing = 0.0;  ///< p_smoothing: trace-variation penalty
+
+  double value() const noexcept { return optimal - protocol - smoothing; }
+
+  /// Regret component only (how far from optimal, ignoring smoothing).
+  double regret() const noexcept { return optimal - protocol; }
+};
+
+}  // namespace netadv::core

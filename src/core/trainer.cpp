@@ -1,0 +1,103 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/recorder.hpp"
+#include "util/log.hpp"
+
+namespace netadv::core {
+
+rl::PpoConfig abr_adversary_ppo_config() {
+  rl::PpoConfig cfg;
+  // "a neural network with two fully connected hidden layers, the first with
+  // 32 neurons and the second with 16" (Section 3). PPO with the
+  // stable-baselines defaults except a constant learning rate.
+  cfg.hidden_sizes = {32, 16};
+  cfg.learning_rate = 3e-4;
+  cfg.n_steps = 2048;
+  cfg.minibatch_size = 128;
+  cfg.epochs = 10;
+  cfg.ent_coef = 0.005;
+  cfg.initial_log_std = -0.3;
+  return cfg;
+}
+
+rl::PpoConfig cc_adversary_ppo_config() {
+  rl::PpoConfig cfg;
+  // "a simple neural network with only one hidden layer of 4 neurons"
+  // (Section 4).
+  cfg.hidden_sizes = {4};
+  cfg.learning_rate = 3e-4;
+  cfg.n_steps = 2048;
+  cfg.minibatch_size = 128;
+  cfg.epochs = 10;
+  cfg.ent_coef = 0.001;
+  cfg.initial_log_std = -0.3;
+  return cfg;
+}
+
+rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
+                                 std::uint64_t seed,
+                                 const rl::TrainCallback& callback) {
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     abr_adversary_ppo_config(), seed};
+  agent.train(env, steps, callback);
+  return agent;
+}
+
+rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
+                                std::uint64_t seed,
+                                const rl::TrainCallback& callback) {
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     cc_adversary_ppo_config(), seed};
+  agent.train(env, steps, callback);
+  return agent;
+}
+
+RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
+                                   abr::PensieveEnv& env,
+                                   const RobustifyConfig& config) {
+  if (config.inject_fraction <= 0.0) {
+    throw std::invalid_argument{"robustify_pensieve: bad inject_fraction"};
+  }
+
+  RobustifyResult result;
+  const double frac = std::min(config.inject_fraction, 1.0);
+  const auto phase1_steps = static_cast<std::size_t>(
+      static_cast<double>(config.protocol_steps) * frac);
+
+  // (1) Train the protocol of interest.
+  util::log_info("robustify: phase 1, %zu steps on %zu traces", phase1_steps,
+                 env.traces().size());
+  result.phase1 = pensieve.train(env, phase1_steps);
+  if (frac >= 1.0) return result;  // baseline: no adversarial injection
+
+  // (2) Train an adversary against the partially trained protocol.
+  abr::PensievePolicy target{pensieve};
+  AbrAdversaryEnv adv_env{env.manifest(), target, config.adversary_params};
+  util::log_info("robustify: training adversary for %zu steps",
+                 config.adversary_steps);
+  rl::PpoAgent adversary{adv_env.observation_size(), adv_env.action_spec(),
+                         abr_adversary_ppo_config(), config.seed + 17};
+  result.adversary_report = adversary.train(adv_env, config.adversary_steps);
+
+  // (3) Generate adversarial traces from the trained adversary.
+  util::Rng trace_rng{config.seed + 29};
+  result.adversarial_traces = record_abr_traces(
+      adversary, adv_env, config.adversarial_traces, trace_rng,
+      /*deterministic=*/false);
+
+  // (4) Continue training on the augmented dataset.
+  std::vector<trace::Trace> augmented = env.traces();
+  augmented.insert(augmented.end(), result.adversarial_traces.begin(),
+                   result.adversarial_traces.end());
+  env.set_traces(std::move(augmented));
+  const std::size_t phase2_steps = config.protocol_steps - phase1_steps;
+  util::log_info("robustify: phase 2, %zu steps on %zu traces", phase2_steps,
+                 env.traces().size());
+  result.phase2 = pensieve.train(env, phase2_steps);
+  return result;
+}
+
+}  // namespace netadv::core

@@ -1,0 +1,65 @@
+// The Section 2.3 robustification pipeline:
+//   (1) train the protocol of interest,
+//   (2) train an adversary against it,
+//   (3) use the trained adversary to generate traces,
+//   (4) continue the protocol's training with the adversarial traces
+//       added to its training dataset.
+// Plus the plain adversary-training entry point used by every experiment
+// (the paper's Section 3/4 adversaries).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "abr/pensieve.hpp"
+#include "core/abr_adversary.hpp"
+#include "core/cc_adversary.hpp"
+#include "rl/ppo.hpp"
+#include "trace/trace.hpp"
+
+namespace netadv::core {
+
+/// PPO setup for the ABR adversary: the paper's two-hidden-layer 32/16
+/// network (Section 3).
+rl::PpoConfig abr_adversary_ppo_config();
+
+/// PPO setup for the CC adversary: one hidden layer of 4 neurons
+/// (Section 4).
+rl::PpoConfig cc_adversary_ppo_config();
+
+/// Train a fresh adversary against `env` for `steps` environment steps.
+rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
+                                 std::uint64_t seed,
+                                 const rl::TrainCallback& callback = nullptr);
+
+rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
+                                std::uint64_t seed,
+                                const rl::TrainCallback& callback = nullptr);
+
+/// Configuration of the full robustification run (Figure 4's treatment).
+struct RobustifyConfig {
+  std::size_t protocol_steps = 200000;     ///< total Pensieve budget
+  double inject_fraction = 0.9;            ///< pause point (0.9 or 0.7)
+  std::size_t adversary_steps = 60000;     ///< adversary training budget
+  std::size_t adversarial_traces = 100;    ///< traces to generate and add
+  std::uint64_t seed = 1;
+  AbrAdversaryEnv::Params adversary_params{};
+};
+
+struct RobustifyResult {
+  rl::TrainReport phase1;
+  rl::TrainReport adversary_report;
+  rl::TrainReport phase2;
+  std::vector<trace::Trace> adversarial_traces;
+};
+
+/// Run the pipeline on a Pensieve agent training in `env`. The env's corpus
+/// is temporarily augmented with the generated adversarial traces for the
+/// final (1 - inject_fraction) of the budget and left augmented on return.
+/// With inject_fraction >= 1 this is a plain (baseline) training run.
+RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
+                                   abr::PensieveEnv& env,
+                                   const RobustifyConfig& config);
+
+}  // namespace netadv::core

@@ -1,0 +1,272 @@
+#include "rl/a2c.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rl/distributions.hpp"
+
+namespace netadv::rl {
+
+namespace {
+
+std::vector<std::size_t> actor_sizes(std::size_t obs, const A2cConfig& cfg,
+                                     const ActionSpec& spec) {
+  std::vector<std::size_t> sizes{obs};
+  sizes.insert(sizes.end(), cfg.hidden_sizes.begin(), cfg.hidden_sizes.end());
+  sizes.push_back(spec.type == ActionType::kDiscrete ? spec.num_actions
+                                                     : spec.low.size());
+  return sizes;
+}
+
+std::vector<std::size_t> critic_sizes(std::size_t obs, const A2cConfig& cfg) {
+  std::vector<std::size_t> sizes{obs};
+  sizes.insert(sizes.end(), cfg.hidden_sizes.begin(), cfg.hidden_sizes.end());
+  sizes.push_back(1);
+  return sizes;
+}
+
+}  // namespace
+
+A2cAgent::A2cAgent(std::size_t observation_size, ActionSpec action_spec,
+                   A2cConfig config, std::uint64_t seed)
+    : obs_size_(observation_size),
+      action_spec_(std::move(action_spec)),
+      config_(std::move(config)),
+      rng_(seed),
+      actor_(actor_sizes(observation_size, config_, action_spec_),
+             config_.activation, /*final_gain=*/0.01, rng_),
+      critic_(critic_sizes(observation_size, config_), config_.activation,
+              /*final_gain=*/1.0, rng_),
+      actor_opt_(actor_.param_count(), {.learning_rate = config_.learning_rate}),
+      critic_opt_(critic_.param_count(),
+                  {.learning_rate = config_.learning_rate}),
+      log_std_opt_(action_spec_.type == ActionType::kContinuous
+                       ? action_spec_.low.size()
+                       : 0,
+                   {.learning_rate = config_.learning_rate}),
+      obs_normalizer_(observation_size),
+      return_normalizer_(config_.gamma) {
+  if (observation_size == 0) {
+    throw std::invalid_argument{"A2cAgent: observation_size must be > 0"};
+  }
+  if (action_spec_.type == ActionType::kDiscrete &&
+      action_spec_.num_actions < 2) {
+    throw std::invalid_argument{"A2cAgent: discrete space needs >= 2 actions"};
+  }
+  if (action_spec_.type == ActionType::kContinuous) {
+    if (action_spec_.low.empty() ||
+        action_spec_.low.size() != action_spec_.high.size()) {
+      throw std::invalid_argument{"A2cAgent: bad continuous action bounds"};
+    }
+    log_std_.assign(action_spec_.low.size(), config_.initial_log_std);
+    log_std_grad_.assign(action_spec_.low.size(), 0.0);
+  }
+  if (config_.n_steps == 0) throw std::invalid_argument{"A2cAgent: bad n_steps"};
+}
+
+Vec A2cAgent::normalized(const Vec& observation) const {
+  return config_.normalize_observations
+             ? obs_normalizer_.normalize(observation)
+             : observation;
+}
+
+Vec A2cAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
+  const Vec obs = normalized(observation);
+  const Vec& head = actor_.forward(obs);
+  if (discrete()) {
+    return {static_cast<double>(Categorical::sample(head, rng))};
+  }
+  return DiagGaussian::sample(head, log_std_, rng);
+}
+
+Vec A2cAgent::act_deterministic(const Vec& observation) {
+  const Vec obs = normalized(observation);
+  const Vec& head = actor_.forward(obs);
+  if (discrete()) {
+    return {static_cast<double>(Categorical::mode(head))};
+  }
+  return {head.begin(), head.end()};
+}
+
+double A2cAgent::value_estimate(const Vec& observation) {
+  return critic_.forward(normalized(observation))[0];
+}
+
+A2cAgent::UpdateStats A2cAgent::apply_update(const RolloutBuffer& buffer) {
+  actor_.zero_grad();
+  critic_.zero_grad();
+  for (auto& g : log_std_grad_) g = 0.0;
+
+  UpdateStats stats;
+  const double inv_n = 1.0 / static_cast<double>(buffer.size());
+
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Transition& t = buffer[i];
+    const Vec& head = actor_.forward(t.observation);
+
+    // Vanilla policy gradient: dLoss/dlogp = -advantage.
+    const double dloss_dlogp = -t.advantage;
+    Vec head_grad(head.size(), 0.0);
+    if (discrete()) {
+      const auto a = static_cast<std::size_t>(t.action[0]);
+      const Vec logp_grad = Categorical::log_prob_grad(head, a);
+      const Vec ent_grad = Categorical::entropy_grad(head);
+      stats.policy_loss += -Categorical::log_prob(head, a) * t.advantage * inv_n;
+      stats.entropy += Categorical::entropy(head) * inv_n;
+      for (std::size_t j = 0; j < head.size(); ++j) {
+        head_grad[j] = (dloss_dlogp * logp_grad[j] -
+                        config_.ent_coef * ent_grad[j]) *
+                       inv_n;
+      }
+    } else {
+      const Vec logp_grad_mean =
+          DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
+      const Vec logp_grad_ls =
+          DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
+      stats.policy_loss +=
+          -DiagGaussian::log_prob(head, log_std_, t.action) * t.advantage *
+          inv_n;
+      stats.entropy += DiagGaussian::entropy(log_std_) * inv_n;
+      for (std::size_t j = 0; j < head.size(); ++j) {
+        head_grad[j] = dloss_dlogp * logp_grad_mean[j] * inv_n;
+      }
+      for (std::size_t j = 0; j < log_std_.size(); ++j) {
+        log_std_grad_[j] += (dloss_dlogp * logp_grad_ls[j] -
+                             config_.ent_coef * 1.0) *
+                            inv_n;
+      }
+    }
+    actor_.backward(head_grad);
+
+    const double v = critic_.forward(t.observation)[0];
+    const double v_err = v - t.return_;
+    stats.value_loss += 0.5 * v_err * v_err * inv_n;
+    critic_.backward({config_.vf_coef * v_err * inv_n});
+  }
+
+  if (config_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (double g : actor_.grads()) sq += g * g;
+    for (double g : critic_.grads()) sq += g * g;
+    for (double g : log_std_grad_) sq += g * g;
+    const double norm = std::sqrt(sq);
+    if (norm > config_.max_grad_norm && norm > 0.0) {
+      const double scale = config_.max_grad_norm / norm;
+      for (auto& g : actor_.grads()) g *= scale;
+      for (auto& g : critic_.grads()) g *= scale;
+      for (auto& g : log_std_grad_) g *= scale;
+    }
+  }
+
+  actor_opt_.step(actor_.params(), actor_.grads());
+  critic_opt_.step(critic_.params(), critic_.grads());
+  if (!log_std_.empty()) {
+    log_std_opt_.step(log_std_, log_std_grad_);
+    for (auto& ls : log_std_) ls = std::clamp(ls, -5.0, 1.0);
+  }
+  return stats;
+}
+
+TrainReport A2cAgent::train(Env& env, std::size_t total_steps,
+                            const TrainCallback& callback) {
+  if (env.observation_size() != obs_size_) {
+    throw std::invalid_argument{"A2cAgent::train: env observation size mismatch"};
+  }
+
+  TrainReport report;
+  RolloutBuffer buffer{config_.n_steps};
+
+  Vec raw_obs = env.reset(rng_);
+  double episode_reward = 0.0;
+  std::vector<double> episode_rewards;
+
+  std::size_t steps_done = 0;
+  std::size_t update_index = 0;
+  while (steps_done < total_steps) {
+    buffer.clear();
+    std::size_t episodes_this_update = 0;
+    double episode_reward_sum = 0.0;
+
+    while (!buffer.full()) {
+      if (config_.normalize_observations) obs_normalizer_.update(raw_obs);
+      const Vec obs = normalized(raw_obs);
+
+      Transition t;
+      t.observation = obs;
+      const Vec& head = actor_.forward(obs);
+      if (discrete()) {
+        const std::size_t a = Categorical::sample(head, rng_);
+        t.action = {static_cast<double>(a)};
+        t.log_prob = Categorical::log_prob(head, a);
+      } else {
+        t.action = DiagGaussian::sample(head, log_std_, rng_);
+        t.log_prob = DiagGaussian::log_prob(head, log_std_, t.action);
+      }
+      t.value = critic_.forward(obs)[0];
+
+      StepResult result = env.step(t.action, rng_);
+      episode_reward += result.reward;
+      t.reward = config_.normalize_rewards
+                     ? return_normalizer_.normalize(result.reward, result.done)
+                     : result.reward;
+      t.done = result.done;
+      buffer.add(std::move(t));
+      ++steps_done;
+
+      if (result.done) {
+        episode_rewards.push_back(episode_reward);
+        episode_reward_sum += episode_reward;
+        ++episodes_this_update;
+        episode_reward = 0.0;
+        raw_obs = env.reset(rng_);
+      } else {
+        raw_obs = std::move(result.observation);
+      }
+    }
+
+    const double last_value = critic_.forward(normalized(raw_obs))[0];
+    buffer.compute_advantages(last_value, config_.gamma, config_.gae_lambda);
+    const UpdateStats stats = apply_update(buffer);
+
+    ++update_index;
+    report.updates = update_index;
+    report.final_policy_loss = stats.policy_loss;
+    report.final_value_loss = stats.value_loss;
+    report.final_entropy = stats.entropy;
+
+    if (callback) {
+      UpdateInfo info;
+      info.update_index = update_index;
+      info.total_steps_done = steps_done;
+      info.mean_episode_reward =
+          episodes_this_update > 0
+              ? episode_reward_sum / static_cast<double>(episodes_this_update)
+              : 0.0;
+      info.policy_loss = stats.policy_loss;
+      info.value_loss = stats.value_loss;
+      info.entropy = stats.entropy;
+      callback(info);
+    }
+  }
+
+  report.steps = steps_done;
+  report.episodes = episode_rewards.size();
+  if (!episode_rewards.empty()) {
+    double sum = 0.0;
+    for (double r : episode_rewards) sum += r;
+    report.mean_episode_reward =
+        sum / static_cast<double>(episode_rewards.size());
+    const std::size_t tail =
+        std::max<std::size_t>(1, episode_rewards.size() / 10);
+    double tail_sum = 0.0;
+    for (std::size_t i = episode_rewards.size() - tail;
+         i < episode_rewards.size(); ++i) {
+      tail_sum += episode_rewards[i];
+    }
+    report.final_mean_episode_reward = tail_sum / static_cast<double>(tail);
+  }
+  return report;
+}
+
+}  // namespace netadv::rl

@@ -1,0 +1,82 @@
+// Synchronous Advantage Actor-Critic (A2C — the single-worker form of the
+// A3C algorithm Pensieve was originally trained with, Mnih et al. 2016).
+// Versus PPO: one on-policy gradient step per short rollout, no surrogate
+// clipping, no minibatch epochs. Provided so the Pensieve substitution can
+// be trained with its native algorithm family and as a second trainer for
+// comparison experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "rl/adam.hpp"
+#include "rl/agent.hpp"
+#include "rl/mlp.hpp"
+#include "rl/normalizer.hpp"
+#include "rl/rollout.hpp"
+
+namespace netadv::rl {
+
+struct A2cConfig {
+  std::vector<std::size_t> hidden_sizes{64, 64};
+  Activation activation = Activation::kTanh;
+  double learning_rate = 7e-4;   // A2C's customary default
+  std::size_t n_steps = 32;      // short rollouts, one update each
+  double gamma = 0.99;
+  double gae_lambda = 1.0;       // plain n-step returns by default
+  double ent_coef = 0.01;
+  double vf_coef = 0.5;
+  double max_grad_norm = 0.5;
+  double initial_log_std = 0.0;
+  bool normalize_observations = true;
+  bool normalize_rewards = true;
+};
+
+class A2cAgent final : public Agent {
+ public:
+  A2cAgent(std::size_t observation_size, ActionSpec action_spec,
+           A2cConfig config, std::uint64_t seed);
+
+  Vec act_stochastic(const Vec& observation, util::Rng& rng) override;
+  Vec act_deterministic(const Vec& observation) override;
+  double value_estimate(const Vec& observation) override;
+  TrainReport train(Env& env, std::size_t total_steps,
+                    const TrainCallback& callback = nullptr) override;
+
+  const A2cConfig& config() const noexcept { return config_; }
+  const ActionSpec& action_spec() const noexcept override {
+    return action_spec_;
+  }
+  std::size_t observation_size() const noexcept override { return obs_size_; }
+
+ private:
+  Vec normalized(const Vec& observation) const;
+  bool discrete() const noexcept {
+    return action_spec_.type == ActionType::kDiscrete;
+  }
+
+  struct UpdateStats {
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+  };
+  UpdateStats apply_update(const RolloutBuffer& buffer);
+
+  std::size_t obs_size_;
+  ActionSpec action_spec_;
+  A2cConfig config_;
+  util::Rng rng_;
+
+  Mlp actor_;
+  Mlp critic_;
+  Vec log_std_;
+  Vec log_std_grad_;
+
+  Adam actor_opt_;
+  Adam critic_opt_;
+  Adam log_std_opt_;
+
+  RunningNormalizer obs_normalizer_;
+  ReturnNormalizer return_normalizer_;
+};
+
+}  // namespace netadv::rl

@@ -1,0 +1,24 @@
+#include "rl/agent.hpp"
+
+namespace netadv::rl {
+
+double Agent::evaluate(Env& env, std::size_t episodes, util::Rng& rng,
+                       bool deterministic) {
+  double total = 0.0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    Vec obs = env.reset(rng);
+    double episode_reward = 0.0;
+    while (true) {
+      const Vec action = deterministic ? act_deterministic(obs)
+                                       : act_stochastic(obs, rng);
+      StepResult result = env.step(action, rng);
+      episode_reward += result.reward;
+      if (result.done) break;
+      obs = std::move(result.observation);
+    }
+    total += episode_reward;
+  }
+  return total / static_cast<double>(episodes);
+}
+
+}  // namespace netadv::rl

@@ -1,0 +1,113 @@
+#include "rl/checkpoint.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace netadv::rl {
+
+namespace {
+
+void write_vector(std::ostream& out, const std::string& key,
+                  std::span<const double> values) {
+  out << key << ' ' << values.size();
+  out.precision(17);
+  for (double v : values) out << ' ' << v;
+  out << '\n';
+}
+
+std::vector<double> read_vector(std::istream& in, const std::string& expected_key) {
+  std::string key;
+  std::size_t n = 0;
+  if (!(in >> key >> n) || key != expected_key) {
+    throw std::runtime_error{"checkpoint: expected key '" + expected_key + "'"};
+  }
+  std::vector<double> values(n);
+  for (auto& v : values) {
+    if (!(in >> v)) throw std::runtime_error{"checkpoint: truncated vector " + key};
+  }
+  return values;
+}
+
+}  // namespace
+
+void save_checkpoint(const PpoAgent& agent, const std::string& path) {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"save_checkpoint: cannot open " + path};
+
+  out << "netadv-ppo-checkpoint v1\n";
+  out << "obs_size " << agent.observation_size() << '\n';
+  const auto& spec = agent.action_spec();
+  if (spec.type == ActionType::kDiscrete) {
+    out << "action discrete " << spec.num_actions << '\n';
+  } else {
+    out << "action continuous " << spec.low.size() << '\n';
+  }
+  write_vector(out, "actor", agent.actor().params());
+  write_vector(out, "critic", agent.critic().params());
+  write_vector(out, "log_std", agent.log_std());
+  write_vector(out, "obs_mean", agent.obs_normalizer().mean());
+  write_vector(out, "obs_var", agent.obs_normalizer().variance());
+  out << "obs_count " << agent.obs_normalizer().count() << '\n';
+  if (!out) throw std::runtime_error{"save_checkpoint: write failed for " + path};
+}
+
+void load_checkpoint(PpoAgent& agent, const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"load_checkpoint: cannot open " + path};
+
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != "netadv-ppo-checkpoint" ||
+      version != "v1") {
+    throw std::runtime_error{"load_checkpoint: bad header in " + path};
+  }
+
+  std::string key;
+  std::size_t obs_size = 0;
+  if (!(in >> key >> obs_size) || key != "obs_size" ||
+      obs_size != agent.observation_size()) {
+    throw std::runtime_error{"load_checkpoint: observation size mismatch"};
+  }
+
+  std::string action_kind;
+  std::size_t action_n = 0;
+  if (!(in >> key >> action_kind >> action_n) || key != "action") {
+    throw std::runtime_error{"load_checkpoint: missing action spec"};
+  }
+  const auto& spec = agent.action_spec();
+  const bool discrete = spec.type == ActionType::kDiscrete;
+  if ((discrete && (action_kind != "discrete" || action_n != spec.num_actions)) ||
+      (!discrete && (action_kind != "continuous" || action_n != spec.low.size()))) {
+    throw std::runtime_error{"load_checkpoint: action space mismatch"};
+  }
+
+  const auto actor = read_vector(in, "actor");
+  if (actor.size() != agent.actor().param_count()) {
+    throw std::runtime_error{"load_checkpoint: actor parameter count mismatch"};
+  }
+  std::copy(actor.begin(), actor.end(), agent.actor().params().begin());
+
+  const auto critic = read_vector(in, "critic");
+  if (critic.size() != agent.critic().param_count()) {
+    throw std::runtime_error{"load_checkpoint: critic parameter count mismatch"};
+  }
+  std::copy(critic.begin(), critic.end(), agent.critic().params().begin());
+
+  const auto log_std = read_vector(in, "log_std");
+  if (log_std.size() != agent.log_std().size()) {
+    throw std::runtime_error{"load_checkpoint: log_std size mismatch"};
+  }
+  agent.log_std() = log_std;
+
+  auto obs_mean = read_vector(in, "obs_mean");
+  auto obs_var = read_vector(in, "obs_var");
+  std::size_t obs_count = 0;
+  if (!(in >> key >> obs_count) || key != "obs_count") {
+    throw std::runtime_error{"load_checkpoint: missing obs_count"};
+  }
+  agent.obs_normalizer().restore(std::move(obs_mean), std::move(obs_var),
+                                 obs_count);
+}
+
+}  // namespace netadv::rl

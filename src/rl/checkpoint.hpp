@@ -1,0 +1,23 @@
+// Plain-text checkpointing of a PpoAgent: layer topology, actor/critic
+// parameters, Gaussian log-std, and observation-normalizer statistics.
+// Benches train an adversary once and reuse it; examples load shipped
+// policies. The format is a line-oriented key/value text file so diffs and
+// debugging stay humane.
+#pragma once
+
+#include <string>
+
+#include "rl/ppo.hpp"
+
+namespace netadv::rl {
+
+/// Write the agent's learnable state to `path`. Throws std::runtime_error on
+/// I/O failure.
+void save_checkpoint(const PpoAgent& agent, const std::string& path);
+
+/// Restore learnable state in place. The agent must have been constructed
+/// with the same topology (observation size, hidden sizes, action space);
+/// throws std::runtime_error on mismatch or parse failure.
+void load_checkpoint(PpoAgent& agent, const std::string& path);
+
+}  // namespace netadv::rl

@@ -1,0 +1,142 @@
+#include "rl/distributions.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace netadv::rl {
+
+namespace {
+constexpr double kLogTwoPi = 1.8378770664093453;  // log(2*pi)
+}
+
+void softmax(std::span<const double> logits, std::span<double> probs) {
+  assert(logits.size() == probs.size());
+  assert(!logits.empty());
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - max_logit);
+    sum += probs[i];
+  }
+  for (auto& p : probs) p /= sum;
+}
+
+std::size_t Categorical::sample(std::span<const double> logits,
+                                util::Rng& rng) {
+  Vec probs(logits.size());
+  softmax(logits, probs);
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return i;
+  }
+  return probs.size() - 1;  // guard against rounding
+}
+
+std::size_t Categorical::mode(std::span<const double> logits) {
+  return static_cast<std::size_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double Categorical::log_prob(std::span<const double> logits,
+                             std::size_t action) {
+  assert(action < logits.size());
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (double l : logits) sum += std::exp(l - max_logit);
+  return logits[action] - max_logit - std::log(sum);
+}
+
+double Categorical::entropy(std::span<const double> logits) {
+  Vec probs(logits.size());
+  softmax(logits, probs);
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+Vec Categorical::log_prob_grad(std::span<const double> logits,
+                               std::size_t action) {
+  Vec grad(logits.size());
+  softmax(logits, grad);
+  for (auto& g : grad) g = -g;
+  grad[action] += 1.0;
+  return grad;
+}
+
+Vec Categorical::entropy_grad(std::span<const double> logits) {
+  // H = -sum_i p_i log p_i with p = softmax(logits).
+  // dH/dlogit_j = -p_j * (log p_j + H).
+  Vec probs(logits.size());
+  softmax(logits, probs);
+  double h = 0.0;
+  for (double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  Vec grad(logits.size(), 0.0);
+  for (std::size_t j = 0; j < probs.size(); ++j) {
+    const double log_p = probs[j] > 0.0 ? std::log(probs[j]) : 0.0;
+    grad[j] = -probs[j] * (log_p + h);
+  }
+  return grad;
+}
+
+Vec DiagGaussian::sample(std::span<const double> mean,
+                         std::span<const double> log_std, util::Rng& rng) {
+  assert(mean.size() == log_std.size());
+  Vec action(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    action[i] = mean[i] + std::exp(log_std[i]) * rng.normal();
+  }
+  return action;
+}
+
+double DiagGaussian::log_prob(std::span<const double> mean,
+                              std::span<const double> log_std,
+                              std::span<const double> action) {
+  assert(mean.size() == log_std.size() && mean.size() == action.size());
+  double logp = 0.0;
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    const double std_i = std::exp(log_std[i]);
+    const double z = (action[i] - mean[i]) / std_i;
+    logp += -0.5 * z * z - log_std[i] - 0.5 * kLogTwoPi;
+  }
+  return logp;
+}
+
+double DiagGaussian::entropy(std::span<const double> log_std) {
+  // H = sum_i (log_std_i + 0.5 * log(2*pi*e)).
+  double h = 0.0;
+  for (double ls : log_std) h += ls + 0.5 * (kLogTwoPi + 1.0);
+  return h;
+}
+
+Vec DiagGaussian::log_prob_grad_mean(std::span<const double> mean,
+                                     std::span<const double> log_std,
+                                     std::span<const double> action) {
+  Vec grad(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    const double var = std::exp(2.0 * log_std[i]);
+    grad[i] = (action[i] - mean[i]) / var;
+  }
+  return grad;
+}
+
+Vec DiagGaussian::log_prob_grad_log_std(std::span<const double> mean,
+                                        std::span<const double> log_std,
+                                        std::span<const double> action) {
+  Vec grad(mean.size());
+  for (std::size_t i = 0; i < mean.size(); ++i) {
+    const double std_i = std::exp(log_std[i]);
+    const double z = (action[i] - mean[i]) / std_i;
+    grad[i] = z * z - 1.0;
+  }
+  return grad;
+}
+
+}  // namespace netadv::rl

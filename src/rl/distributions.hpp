@@ -1,0 +1,56 @@
+// Policy heads: categorical (discrete actions, e.g. Pensieve's bitrate
+// ladder) and diagonal Gaussian with state-independent learned log-std
+// (continuous actions, e.g. the adversary's bandwidth/latency/loss tuple).
+//
+// Each provides sampling, log-probability, entropy, and the analytic
+// gradients PPO needs: d(logp)/d(head inputs) and d(entropy)/d(head inputs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rl/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::rl {
+
+/// Softmax of `logits` written into `probs` (same size), numerically stable.
+void softmax(std::span<const double> logits, std::span<double> probs);
+
+/// Categorical distribution over n actions, parameterized by logits.
+struct Categorical {
+  /// Sample an action index.
+  static std::size_t sample(std::span<const double> logits, util::Rng& rng);
+  /// Highest-probability action (deterministic policy).
+  static std::size_t mode(std::span<const double> logits);
+  static double log_prob(std::span<const double> logits, std::size_t action);
+  static double entropy(std::span<const double> logits);
+  /// d log p(action) / d logits = onehot(action) - softmax(logits).
+  static Vec log_prob_grad(std::span<const double> logits, std::size_t action);
+  /// d H / d logits.
+  static Vec entropy_grad(std::span<const double> logits);
+};
+
+/// Diagonal Gaussian over R^d. The mean comes from the policy network; the
+/// log standard deviations are free parameters owned by the agent (the
+/// stable-baselines convention).
+struct DiagGaussian {
+  static Vec sample(std::span<const double> mean,
+                    std::span<const double> log_std, util::Rng& rng);
+  static double log_prob(std::span<const double> mean,
+                         std::span<const double> log_std,
+                         std::span<const double> action);
+  static double entropy(std::span<const double> log_std);
+  /// d log p / d mean.
+  static Vec log_prob_grad_mean(std::span<const double> mean,
+                                std::span<const double> log_std,
+                                std::span<const double> action);
+  /// d log p / d log_std.
+  static Vec log_prob_grad_log_std(std::span<const double> mean,
+                                   std::span<const double> log_std,
+                                   std::span<const double> action);
+  // d H / d log_std is identically 1 per dimension.
+};
+
+}  // namespace netadv::rl

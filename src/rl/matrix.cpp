@@ -1,0 +1,58 @@
+#include "rl/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace netadv::rl {
+
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == cols);
+  assert(b.size() == rows);
+  assert(y.size() == rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double acc = b[r];
+    const double* row = w.data() + r * cols;
+    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(y.size() == cols);
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = w.data() + r * cols;
+    const double gr = g[r];
+    for (std::size_t c = 0; c < cols; ++c) y[c] += row[c] * gr;
+  }
+}
+
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(x.size() == cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = w.data() + r * cols;
+    const double gr = g[r];
+    for (std::size_t c = 0; c < cols; ++c) row[c] += gr * x[c];
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double l2_norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+}  // namespace netadv::rl

@@ -1,0 +1,126 @@
+#include "rl/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace netadv::rl {
+
+namespace {
+
+double activate(Activation act, double z) noexcept {
+  switch (act) {
+    case Activation::kTanh:
+      return std::tanh(z);
+    case Activation::kRelu:
+      return z > 0.0 ? z : 0.0;
+    case Activation::kIdentity:
+      return z;
+  }
+  return z;
+}
+
+/// Derivative expressed in terms of pre-activation z and post-activation a.
+double activate_grad(Activation act, double z, double a) noexcept {
+  switch (act) {
+    case Activation::kTanh:
+      return 1.0 - a * a;
+    case Activation::kRelu:
+      return z > 0.0 ? 1.0 : 0.0;
+    case Activation::kIdentity:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Mlp::Mlp(std::vector<std::size_t> sizes, Activation hidden_activation,
+         double final_gain, util::Rng& rng)
+    : sizes_(std::move(sizes)), hidden_(hidden_activation) {
+  if (sizes_.size() < 2) throw std::invalid_argument{"Mlp needs >= 2 layer sizes"};
+  for (std::size_t s : sizes_) {
+    if (s == 0) throw std::invalid_argument{"Mlp layer size must be > 0"};
+  }
+
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i + 1 < sizes_.size(); ++i) {
+    Layer l;
+    l.in = sizes_[i];
+    l.out = sizes_[i + 1];
+    l.w_offset = offset;
+    offset += l.in * l.out;
+    l.b_offset = offset;
+    offset += l.out;
+    layers_.push_back(l);
+  }
+  params_.assign(offset, 0.0);
+  grads_.assign(offset, 0.0);
+
+  // Xavier-uniform initialization; the final (linear) layer additionally
+  // scaled by final_gain so policy heads start near-deterministic-uniform.
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    const bool last = (i + 1 == layers_.size());
+    const double limit = std::sqrt(6.0 / static_cast<double>(l.in + l.out)) *
+                         (last ? final_gain : 1.0);
+    auto w = weight(l);
+    for (auto& value : w) value = rng.uniform(-limit, limit);
+    // Biases start at zero (already the case from assign()).
+  }
+
+  pre_.resize(layers_.size());
+  post_.resize(layers_.size() + 1);
+}
+
+const Vec& Mlp::forward(const Vec& input) {
+  if (input.size() != input_size()) {
+    throw std::invalid_argument{"Mlp::forward: wrong input size"};
+  }
+  post_[0] = input;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    pre_[i].assign(l.out, 0.0);
+    gemv(weight(l), l.out, l.in, post_[i], bias(l), pre_[i]);
+    const bool last = (i + 1 == layers_.size());
+    const Activation act = last ? Activation::kIdentity : hidden_;
+    post_[i + 1].resize(l.out);
+    for (std::size_t j = 0; j < l.out; ++j) {
+      post_[i + 1][j] = activate(act, pre_[i][j]);
+    }
+  }
+  forward_done_ = true;
+  return post_.back();
+}
+
+Vec Mlp::backward(const Vec& grad_output) {
+  if (!forward_done_) throw std::logic_error{"Mlp::backward before forward"};
+  if (grad_output.size() != output_size()) {
+    throw std::invalid_argument{"Mlp::backward: wrong gradient size"};
+  }
+
+  Vec delta = grad_output;  // dLoss/dPost of current layer
+  for (std::size_t idx = layers_.size(); idx-- > 0;) {
+    const Layer& l = layers_[idx];
+    const bool last = (idx + 1 == layers_.size());
+    const Activation act = last ? Activation::kIdentity : hidden_;
+    // dLoss/dPre = dLoss/dPost * act'(pre)
+    for (std::size_t j = 0; j < l.out; ++j) {
+      delta[j] *= activate_grad(act, pre_[idx][j], post_[idx + 1][j]);
+    }
+    rank1_update(weight_grad(l), l.out, l.in, delta, post_[idx]);
+    auto bg = bias_grad(l);
+    for (std::size_t j = 0; j < l.out; ++j) bg[j] += delta[j];
+
+    Vec next(l.in, 0.0);
+    gemv_transposed(weight(l), l.out, l.in, delta, next);
+    delta = std::move(next);
+  }
+  return delta;
+}
+
+void Mlp::zero_grad() noexcept {
+  for (auto& g : grads_) g = 0.0;
+}
+
+}  // namespace netadv::rl

@@ -1,0 +1,89 @@
+// Fully connected multi-layer perceptron with reverse-mode gradients.
+//
+// Parameters (weights then biases, layer by layer) live in one contiguous
+// vector so the optimizer and the checkpoint code can treat the network as a
+// flat parameter array. forward() caches activations; backward() consumes
+// them and *accumulates* into the gradient array, which is what minibatch
+// training wants (call zero_grad() between minibatches).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "rl/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::rl {
+
+enum class Activation { kTanh, kRelu, kIdentity };
+
+class Mlp {
+ public:
+  /// `sizes` is {input, hidden..., output}; at least {in, out}.
+  /// Hidden layers use `hidden_activation`; the output layer is linear, with
+  /// its initial weights scaled by `final_gain` (0.01 is the usual PPO trick
+  /// for policy heads; 1.0 for value heads).
+  Mlp(std::vector<std::size_t> sizes, Activation hidden_activation,
+      double final_gain, util::Rng& rng);
+
+  std::size_t input_size() const noexcept { return sizes_.front(); }
+  std::size_t output_size() const noexcept { return sizes_.back(); }
+  std::size_t param_count() const noexcept { return params_.size(); }
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+
+  /// Forward pass; the returned reference is valid until the next forward().
+  const Vec& forward(const Vec& input);
+
+  /// Backpropagate `grad_output` (dLoss/dOutput for the *last* forward()),
+  /// accumulating parameter gradients; returns dLoss/dInput.
+  Vec backward(const Vec& grad_output);
+
+  void zero_grad() noexcept;
+
+  std::span<double> params() noexcept { return params_; }
+  std::span<const double> params() const noexcept { return params_; }
+  std::span<double> grads() noexcept { return grads_; }
+  std::span<const double> grads() const noexcept { return grads_; }
+
+  const std::vector<std::size_t>& layer_sizes() const noexcept { return sizes_; }
+  Activation hidden_activation() const noexcept { return hidden_; }
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    std::size_t w_offset = 0;  // rows=out, cols=in
+    std::size_t b_offset = 0;
+  };
+
+  std::span<double> weight(const Layer& l) noexcept {
+    return {params_.data() + l.w_offset, l.in * l.out};
+  }
+  std::span<const double> weight(const Layer& l) const noexcept {
+    return {params_.data() + l.w_offset, l.in * l.out};
+  }
+  std::span<double> bias(const Layer& l) noexcept {
+    return {params_.data() + l.b_offset, l.out};
+  }
+  std::span<double> weight_grad(const Layer& l) noexcept {
+    return {grads_.data() + l.w_offset, l.in * l.out};
+  }
+  std::span<double> bias_grad(const Layer& l) noexcept {
+    return {grads_.data() + l.b_offset, l.out};
+  }
+
+  std::vector<std::size_t> sizes_;
+  Activation hidden_;
+  std::vector<Layer> layers_;
+  std::vector<double> params_;
+  std::vector<double> grads_;
+
+  // Per-layer caches from the last forward(): pre-activation z and
+  // post-activation a (post_.front() is the input itself).
+  std::vector<Vec> pre_;
+  std::vector<Vec> post_;
+  bool forward_done_ = false;
+};
+
+}  // namespace netadv::rl

@@ -1,0 +1,303 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rl/distributions.hpp"
+#include "util/log.hpp"
+
+namespace netadv::rl {
+
+namespace {
+
+std::vector<std::size_t> make_actor_sizes(std::size_t obs,
+                                          const PpoConfig& cfg,
+                                          const ActionSpec& spec) {
+  std::vector<std::size_t> sizes{obs};
+  sizes.insert(sizes.end(), cfg.hidden_sizes.begin(), cfg.hidden_sizes.end());
+  sizes.push_back(spec.type == ActionType::kDiscrete ? spec.num_actions
+                                                     : spec.low.size());
+  return sizes;
+}
+
+std::vector<std::size_t> make_critic_sizes(std::size_t obs,
+                                           const PpoConfig& cfg) {
+  std::vector<std::size_t> sizes{obs};
+  sizes.insert(sizes.end(), cfg.hidden_sizes.begin(), cfg.hidden_sizes.end());
+  sizes.push_back(1);
+  return sizes;
+}
+
+}  // namespace
+
+PpoAgent::PpoAgent(std::size_t observation_size, ActionSpec action_spec,
+                   PpoConfig config, std::uint64_t seed)
+    : obs_size_(observation_size),
+      action_spec_(std::move(action_spec)),
+      config_(std::move(config)),
+      rng_(seed),
+      actor_(make_actor_sizes(observation_size, config_, action_spec_),
+             config_.activation, /*final_gain=*/0.01, rng_),
+      critic_(make_critic_sizes(observation_size, config_),
+              config_.activation, /*final_gain=*/1.0, rng_),
+      actor_opt_(actor_.param_count(), {.learning_rate = config_.learning_rate}),
+      critic_opt_(critic_.param_count(),
+                  {.learning_rate = config_.learning_rate}),
+      log_std_opt_(action_spec_.type == ActionType::kContinuous
+                       ? action_spec_.low.size()
+                       : 0,
+                   {.learning_rate = config_.learning_rate}),
+      obs_normalizer_(observation_size),
+      return_normalizer_(config_.gamma) {
+  if (observation_size == 0) {
+    throw std::invalid_argument{"PpoAgent: observation_size must be > 0"};
+  }
+  if (action_spec_.type == ActionType::kDiscrete &&
+      action_spec_.num_actions < 2) {
+    throw std::invalid_argument{"PpoAgent: discrete space needs >= 2 actions"};
+  }
+  if (action_spec_.type == ActionType::kContinuous) {
+    if (action_spec_.low.empty() ||
+        action_spec_.low.size() != action_spec_.high.size()) {
+      throw std::invalid_argument{"PpoAgent: bad continuous action bounds"};
+    }
+    log_std_.assign(action_spec_.low.size(), config_.initial_log_std);
+    log_std_grad_.assign(action_spec_.low.size(), 0.0);
+  }
+  if (config_.minibatch_size == 0 || config_.minibatch_size > config_.n_steps) {
+    throw std::invalid_argument{"PpoAgent: bad minibatch size"};
+  }
+}
+
+Vec PpoAgent::normalized(const Vec& observation) const {
+  return config_.normalize_observations ? obs_normalizer_.normalize(observation)
+                                        : observation;
+}
+
+Vec PpoAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
+  const Vec obs = normalized(observation);
+  const Vec& head = actor_.forward(obs);
+  if (discrete()) {
+    return {static_cast<double>(Categorical::sample(head, rng))};
+  }
+  return DiagGaussian::sample(head, log_std_, rng);
+}
+
+Vec PpoAgent::act_deterministic(const Vec& observation) {
+  const Vec obs = normalized(observation);
+  const Vec& head = actor_.forward(obs);
+  if (discrete()) {
+    return {static_cast<double>(Categorical::mode(head))};
+  }
+  return {head.begin(), head.end()};
+}
+
+double PpoAgent::value_estimate(const Vec& observation) {
+  return critic_.forward(normalized(observation))[0];
+}
+
+TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
+                            const TrainCallback& callback) {
+  if (env.observation_size() != obs_size_) {
+    throw std::invalid_argument{"PpoAgent::train: env observation size mismatch"};
+  }
+
+  TrainReport report;
+  RolloutBuffer buffer{config_.n_steps};
+
+  Vec raw_obs = env.reset(rng_);
+  double episode_reward = 0.0;
+  std::vector<double> episode_rewards;
+
+  std::size_t steps_done = 0;
+  std::size_t update_index = 0;
+  while (steps_done < total_steps) {
+    buffer.clear();
+    std::size_t episodes_this_update = 0;
+    double episode_reward_sum_this_update = 0.0;
+
+    while (!buffer.full()) {
+      if (config_.normalize_observations) obs_normalizer_.update(raw_obs);
+      const Vec obs = normalized(raw_obs);
+
+      Transition t;
+      t.observation = obs;
+      const Vec& head = actor_.forward(obs);
+      if (discrete()) {
+        const std::size_t a = Categorical::sample(head, rng_);
+        t.action = {static_cast<double>(a)};
+        t.log_prob = Categorical::log_prob(head, a);
+      } else {
+        t.action = DiagGaussian::sample(head, log_std_, rng_);
+        t.log_prob = DiagGaussian::log_prob(head, log_std_, t.action);
+      }
+      t.value = critic_.forward(obs)[0];
+
+      StepResult result = env.step(t.action, rng_);
+      episode_reward += result.reward;
+      t.reward = config_.normalize_rewards
+                     ? return_normalizer_.normalize(result.reward, result.done)
+                     : result.reward;
+      t.done = result.done;
+      buffer.add(std::move(t));
+      ++steps_done;
+
+      if (result.done) {
+        episode_rewards.push_back(episode_reward);
+        episode_reward_sum_this_update += episode_reward;
+        ++episodes_this_update;
+        episode_reward = 0.0;
+        raw_obs = env.reset(rng_);
+      } else {
+        raw_obs = std::move(result.observation);
+      }
+    }
+
+    const double last_value = critic_.forward(normalized(raw_obs))[0];
+    buffer.compute_advantages(last_value, config_.gamma, config_.gae_lambda);
+
+    MinibatchStats last_stats;
+    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      const auto indices = buffer.shuffled_indices(rng_);
+      for (std::size_t begin = 0; begin < indices.size();
+           begin += config_.minibatch_size) {
+        const std::size_t end =
+            std::min(begin + config_.minibatch_size, indices.size());
+        last_stats = update_minibatch(buffer, indices, begin, end);
+      }
+    }
+
+    ++update_index;
+    report.updates = update_index;
+    report.final_policy_loss = last_stats.policy_loss;
+    report.final_value_loss = last_stats.value_loss;
+    report.final_entropy = last_stats.entropy;
+
+    if (callback) {
+      UpdateInfo info;
+      info.update_index = update_index;
+      info.total_steps_done = steps_done;
+      info.mean_episode_reward =
+          episodes_this_update > 0
+              ? episode_reward_sum_this_update /
+                    static_cast<double>(episodes_this_update)
+              : 0.0;
+      info.policy_loss = last_stats.policy_loss;
+      info.value_loss = last_stats.value_loss;
+      info.entropy = last_stats.entropy;
+      callback(info);
+    }
+  }
+
+  report.steps = steps_done;
+  report.episodes = episode_rewards.size();
+  if (!episode_rewards.empty()) {
+    double sum = 0.0;
+    for (double r : episode_rewards) sum += r;
+    report.mean_episode_reward = sum / static_cast<double>(episode_rewards.size());
+    const std::size_t tail =
+        std::max<std::size_t>(1, episode_rewards.size() / 10);
+    double tail_sum = 0.0;
+    for (std::size_t i = episode_rewards.size() - tail; i < episode_rewards.size(); ++i) {
+      tail_sum += episode_rewards[i];
+    }
+    report.final_mean_episode_reward = tail_sum / static_cast<double>(tail);
+  }
+  return report;
+}
+
+PpoAgent::MinibatchStats PpoAgent::update_minibatch(
+    const RolloutBuffer& buffer, const std::vector<std::size_t>& indices,
+    std::size_t begin, std::size_t end) {
+  actor_.zero_grad();
+  critic_.zero_grad();
+  for (auto& g : log_std_grad_) g = 0.0;
+
+  MinibatchStats stats;
+  const auto batch_size = static_cast<double>(end - begin);
+  const double inv_batch = 1.0 / batch_size;
+
+  for (std::size_t k = begin; k < end; ++k) {
+    const Transition& t = buffer[indices[k]];
+    const Vec& head = actor_.forward(t.observation);
+
+    double log_prob_new = 0.0;
+    if (discrete()) {
+      log_prob_new =
+          Categorical::log_prob(head, static_cast<std::size_t>(t.action[0]));
+    } else {
+      log_prob_new = DiagGaussian::log_prob(head, log_std_, t.action);
+    }
+    const double ratio = std::exp(log_prob_new - t.log_prob);
+    const double clipped_ratio =
+        std::clamp(ratio, 1.0 - config_.clip_range, 1.0 + config_.clip_range);
+    const double surr1 = ratio * t.advantage;
+    const double surr2 = clipped_ratio * t.advantage;
+    stats.policy_loss += -std::min(surr1, surr2) * inv_batch;
+
+    // Policy gradient flows only where the unclipped surrogate is active.
+    const double dloss_dlogp = (surr1 <= surr2) ? -t.advantage * ratio : 0.0;
+
+    Vec head_grad(head.size(), 0.0);
+    if (discrete()) {
+      const auto a = static_cast<std::size_t>(t.action[0]);
+      const Vec logp_grad = Categorical::log_prob_grad(head, a);
+      const Vec ent_grad = Categorical::entropy_grad(head);
+      stats.entropy += Categorical::entropy(head) * inv_batch;
+      for (std::size_t i = 0; i < head.size(); ++i) {
+        head_grad[i] = (dloss_dlogp * logp_grad[i] -
+                        config_.ent_coef * ent_grad[i]) *
+                       inv_batch;
+      }
+    } else {
+      const Vec logp_grad_mean =
+          DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
+      const Vec logp_grad_ls =
+          DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
+      stats.entropy += DiagGaussian::entropy(log_std_) * inv_batch;
+      for (std::size_t i = 0; i < head.size(); ++i) {
+        head_grad[i] = dloss_dlogp * logp_grad_mean[i] * inv_batch;
+      }
+      // dH/dlog_std = 1 per dimension.
+      for (std::size_t i = 0; i < log_std_.size(); ++i) {
+        log_std_grad_[i] += (dloss_dlogp * logp_grad_ls[i] -
+                             config_.ent_coef * 1.0) *
+                            inv_batch;
+      }
+    }
+    actor_.backward(head_grad);
+
+    const double v = critic_.forward(t.observation)[0];
+    const double v_err = v - t.return_;
+    stats.value_loss += 0.5 * v_err * v_err * inv_batch;
+    critic_.backward({config_.vf_coef * v_err * inv_batch});
+  }
+
+  // Global gradient-norm clip across actor, critic, and log_std.
+  if (config_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (double g : actor_.grads()) sq += g * g;
+    for (double g : critic_.grads()) sq += g * g;
+    for (double g : log_std_grad_) sq += g * g;
+    const double norm = std::sqrt(sq);
+    if (norm > config_.max_grad_norm && norm > 0.0) {
+      const double scale = config_.max_grad_norm / norm;
+      for (auto& g : actor_.grads()) g *= scale;
+      for (auto& g : critic_.grads()) g *= scale;
+      for (auto& g : log_std_grad_) g *= scale;
+    }
+  }
+
+  actor_opt_.step(actor_.params(), actor_.grads());
+  critic_opt_.step(critic_.params(), critic_.grads());
+  if (!log_std_.empty()) {
+    log_std_opt_.step(log_std_, log_std_grad_);
+    // Keep exploration noise in a sane band; exp(-5) is effectively
+    // deterministic, exp(1) spans the whole normalized action range.
+    for (auto& ls : log_std_) ls = std::clamp(ls, -5.0, 1.0);
+  }
+  return stats;
+}
+
+}  // namespace netadv::rl

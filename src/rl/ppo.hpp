@@ -1,0 +1,118 @@
+// Proximal Policy Optimization (clip variant; Schulman et al., 2017) over
+// the Env interface, with the stable-baselines default hyperparameters the
+// paper relied on: clipped surrogate, GAE(lambda), several epochs of
+// shuffled minibatches per rollout, entropy bonus, global gradient-norm
+// clipping, and observation/return normalization.
+//
+// The actor and critic are separate MLPs. Discrete action spaces use a
+// categorical head; continuous spaces use a diagonal Gaussian whose log-std
+// is a learned state-independent parameter vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rl/adam.hpp"
+#include "rl/agent.hpp"
+#include "rl/env.hpp"
+#include "rl/mlp.hpp"
+#include "rl/normalizer.hpp"
+#include "rl/rollout.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::rl {
+
+struct PpoConfig {
+  std::vector<std::size_t> hidden_sizes{64, 64};
+  Activation activation = Activation::kTanh;
+  double learning_rate = 3e-4;
+  std::size_t n_steps = 2048;        // rollout horizon per update
+  std::size_t minibatch_size = 64;
+  std::size_t epochs = 10;
+  double gamma = 0.99;
+  double gae_lambda = 0.95;
+  double clip_range = 0.2;
+  double ent_coef = 0.0;
+  double vf_coef = 0.5;
+  double max_grad_norm = 0.5;
+  double initial_log_std = 0.0;      // continuous head only
+  bool normalize_observations = true;
+  bool normalize_rewards = true;
+};
+
+class PpoAgent final : public Agent {
+ public:
+  PpoAgent(std::size_t observation_size, ActionSpec action_spec,
+           PpoConfig config, std::uint64_t seed);
+
+  /// Sample an action from the current policy. Does not update normalizer
+  /// statistics; safe for evaluation.
+  Vec act_stochastic(const Vec& observation, util::Rng& rng) override;
+
+  /// Deterministic action: categorical mode or Gaussian mean (the paper's
+  /// "actions before exploration noise", Figure 6).
+  Vec act_deterministic(const Vec& observation) override;
+
+  /// Critic estimate of the (normalized-reward) value of an observation.
+  double value_estimate(const Vec& observation) override;
+
+  /// Run PPO for at least `total_steps` environment steps (rounded up to a
+  /// whole number of rollouts).
+  TrainReport train(Env& env, std::size_t total_steps,
+                    const TrainCallback& callback = nullptr) override;
+
+  const PpoConfig& config() const noexcept { return config_; }
+  const ActionSpec& action_spec() const noexcept override { return action_spec_; }
+  std::size_t observation_size() const noexcept override { return obs_size_; }
+
+  // Checkpoint access (see rl/checkpoint.hpp).
+  Mlp& actor() noexcept { return actor_; }
+  const Mlp& actor() const noexcept { return actor_; }
+  Mlp& critic() noexcept { return critic_; }
+  const Mlp& critic() const noexcept { return critic_; }
+  Vec& log_std() noexcept { return log_std_; }
+  const Vec& log_std() const noexcept { return log_std_; }
+  RunningNormalizer& obs_normalizer() noexcept { return obs_normalizer_; }
+  const RunningNormalizer& obs_normalizer() const noexcept {
+    return obs_normalizer_;
+  }
+
+ private:
+  Vec normalized(const Vec& observation) const;
+  bool discrete() const noexcept {
+    return action_spec_.type == ActionType::kDiscrete;
+  }
+
+  struct MinibatchStats {
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+  };
+  MinibatchStats update_minibatch(const RolloutBuffer& buffer,
+                                  const std::vector<std::size_t>& indices,
+                                  std::size_t begin, std::size_t end);
+
+  std::size_t obs_size_;
+  ActionSpec action_spec_;
+  PpoConfig config_;
+  util::Rng rng_;
+
+  Mlp actor_;
+  Mlp critic_;
+  Vec log_std_;        // continuous head parameter
+  Vec log_std_grad_;
+
+  Adam actor_opt_;
+  Adam critic_opt_;
+  Adam log_std_opt_;
+
+  RunningNormalizer obs_normalizer_;
+  ReturnNormalizer return_normalizer_;
+};
+
+}  // namespace netadv::rl

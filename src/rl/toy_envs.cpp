@@ -1,0 +1,65 @@
+#include "rl/toy_envs.hpp"
+
+#include <stdexcept>
+
+namespace netadv::rl {
+
+ContextualBanditEnv::ContextualBanditEnv(std::size_t contexts,
+                                         std::size_t arms,
+                                         std::size_t episode_length)
+    : contexts_(contexts), arms_(arms), episode_length_(episode_length) {
+  if (contexts == 0 || arms < 2 || episode_length == 0) {
+    throw std::invalid_argument{"ContextualBanditEnv: bad parameters"};
+  }
+}
+
+Vec ContextualBanditEnv::make_observation() const {
+  Vec obs(contexts_, 0.0);
+  obs[context_] = 1.0;
+  return obs;
+}
+
+Vec ContextualBanditEnv::reset(util::Rng& rng) {
+  steps_ = 0;
+  context_ = rng.index(contexts_);
+  return make_observation();
+}
+
+StepResult ContextualBanditEnv::step(const Vec& action, util::Rng& rng) {
+  const auto arm = static_cast<std::size_t>(action.at(0));
+  if (arm >= arms_) throw std::invalid_argument{"ContextualBanditEnv: bad arm"};
+  StepResult result;
+  result.reward = (arm == correct_arm(context_)) ? 1.0 : 0.0;
+  ++steps_;
+  result.done = steps_ >= episode_length_;
+  context_ = rng.index(contexts_);
+  result.observation = make_observation();
+  return result;
+}
+
+TargetChaseEnv::TargetChaseEnv(std::size_t episode_length)
+    : episode_length_(episode_length) {
+  if (episode_length == 0) {
+    throw std::invalid_argument{"TargetChaseEnv: bad episode length"};
+  }
+}
+
+Vec TargetChaseEnv::reset(util::Rng& rng) {
+  steps_ = 0;
+  target_ = rng.uniform(-1.0, 1.0);
+  return {target_};
+}
+
+StepResult TargetChaseEnv::step(const Vec& action, util::Rng& rng) {
+  const Vec physical = action_spec().to_physical(action);
+  const double err = physical[0] - 0.5 * target_;
+  StepResult result;
+  result.reward = -err * err;
+  ++steps_;
+  result.done = steps_ >= episode_length_;
+  target_ = rng.uniform(-1.0, 1.0);
+  result.observation = {target_};
+  return result;
+}
+
+}  // namespace netadv::rl

@@ -1,0 +1,63 @@
+// Tiny environments with known optimal policies, used as correctness gates
+// for the PPO substrate before it is trusted to train adversaries.
+#pragma once
+
+#include <cstddef>
+
+#include "rl/env.hpp"
+
+namespace netadv::rl {
+
+/// Contextual bandit: the observation one-hot encodes one of `contexts`
+/// states; exactly one arm per context pays +1, all others pay 0. An optimal
+/// policy earns `episode_length` per episode.
+class ContextualBanditEnv final : public Env {
+ public:
+  ContextualBanditEnv(std::size_t contexts, std::size_t arms,
+                      std::size_t episode_length);
+
+  std::string name() const override { return "contextual-bandit"; }
+  std::size_t observation_size() const override { return contexts_; }
+  ActionSpec action_spec() const override {
+    return ActionSpec::discrete(arms_);
+  }
+  Vec reset(util::Rng& rng) override;
+  StepResult step(const Vec& action, util::Rng& rng) override;
+
+  /// The rewarded arm for a context (deterministic: (2*context+1) % arms).
+  std::size_t correct_arm(std::size_t context) const noexcept {
+    return (2 * context + 1) % arms_;
+  }
+
+ private:
+  Vec make_observation() const;
+
+  std::size_t contexts_;
+  std::size_t arms_;
+  std::size_t episode_length_;
+  std::size_t context_ = 0;
+  std::size_t steps_ = 0;
+};
+
+/// One-dimensional continuous regression-as-control task: observe a target
+/// position in [-1, 1]; reward is -(action - 0.5 * target)^2 after the env's
+/// [-1,1] clipping and physical mapping. The optimum is a linear policy.
+class TargetChaseEnv final : public Env {
+ public:
+  explicit TargetChaseEnv(std::size_t episode_length);
+
+  std::string name() const override { return "target-chase"; }
+  std::size_t observation_size() const override { return 1; }
+  ActionSpec action_spec() const override {
+    return ActionSpec::continuous({-1.0}, {1.0});
+  }
+  Vec reset(util::Rng& rng) override;
+  StepResult step(const Vec& action, util::Rng& rng) override;
+
+ private:
+  std::size_t episode_length_;
+  double target_ = 0.0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace netadv::rl

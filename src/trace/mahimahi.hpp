@@ -1,0 +1,38 @@
+// Interop with Mahimahi's mm-link trace format (Netravali et al., ATC 2015)
+// — the emulator the paper modified for its congestion-control adversary.
+//
+// An mm-link trace is a text file with one integer per line: the millisecond
+// timestamp (from trace start) of a packet-delivery opportunity for one
+// 1500-byte MTU. Exporting lets traces recorded from netadv adversaries be
+// replayed under real Mahimahi against real kernels; importing lets
+// collected mm-link traces drive netadv's simulators.
+#pragma once
+
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace netadv::trace {
+
+struct MahimahiOptions {
+  double packet_bytes = 1500.0;
+  /// Bin width used when *importing* (bandwidth is estimated per bin).
+  double import_bin_s = 0.1;
+  /// Latency/loss attached to imported segments (mm-link traces carry
+  /// neither; Mahimahi models them with separate shells).
+  double import_latency_ms = 80.0;
+  double import_loss = 0.0;
+};
+
+/// Write `trace` as packet-delivery opportunities. Throws on I/O failure or
+/// an empty trace.
+void save_mahimahi_trace(const Trace& trace, const std::string& path,
+                         const MahimahiOptions& options = {});
+
+/// Parse an mm-link file into a Trace of fixed-width segments whose
+/// bandwidth matches the delivery opportunities per bin. Throws on missing
+/// file, unparsable lines, or non-monotone timestamps.
+Trace load_mahimahi_trace(const std::string& path,
+                          const MahimahiOptions& options = {});
+
+}  // namespace netadv::trace

@@ -1,0 +1,36 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+namespace netadv::util {
+
+double bench_scale() noexcept {
+  static const double scale = [] {
+    double value = 1.0;
+    if (const char* env = std::getenv("NETADV_SCALE")) {
+      char* end = nullptr;
+      const double parsed = std::strtod(env, &end);
+      if (end != env && parsed > 0.0) value = parsed;
+    }
+    return std::clamp(value, 0.001, 100.0);
+  }();
+  return scale;
+}
+
+std::string bench_output_dir() {
+  std::string dir = "bench_out";
+  if (const char* env = std::getenv("NETADV_OUT_DIR")) dir = env;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+std::size_t scaled_steps(std::size_t nominal, std::size_t floor) noexcept {
+  const auto scaled =
+      static_cast<std::size_t>(static_cast<double>(nominal) * bench_scale());
+  return std::max(scaled, floor);
+}
+
+}  // namespace netadv::util

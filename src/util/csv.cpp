@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace netadv::util {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << format_number(cells[i]);
+  }
+  out_ << '\n';
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"read_csv: cannot open " + path};
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss{line};
+    std::string cell;
+    if (first) {
+      while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+      first = false;
+      continue;
+    }
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      std::size_t pos = 0;
+      double value = 0.0;
+      try {
+        value = std::stod(cell, &pos);
+      } catch (const std::exception&) {
+        throw std::runtime_error{"read_csv: non-numeric cell '" + cell + "' in " + path};
+      }
+      if (pos != cell.size()) {
+        throw std::runtime_error{"read_csv: trailing junk in cell '" + cell + "' in " + path};
+      }
+      row.push_back(value);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+std::string format_number(double x) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", x);
+  return buf;
+}
+
+}  // namespace netadv::util

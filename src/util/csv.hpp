@@ -1,0 +1,43 @@
+// Minimal CSV reading/writing for traces and benchmark output. Values are
+// numeric or plain strings without embedded commas/newlines, which is all
+// this project produces; a full RFC-4180 parser is deliberately out of scope.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace netadv::util {
+
+/// Row-at-a-time CSV writer. Creates/truncates the file on construction and
+/// flushes on destruction (RAII); throws std::runtime_error if the file
+/// cannot be opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a header or data row from string cells.
+  void write_row(const std::vector<std::string>& cells);
+  /// Write a data row of doubles (formatted with %.6g).
+  void write_row(const std::vector<double>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Read a numeric CSV with a single header line. Throws std::runtime_error
+/// on missing file or non-numeric data cells.
+CsvTable read_csv(const std::string& path);
+
+/// Format a double with up to 6 significant digits (trailing-zero trimmed).
+std::string format_number(double x);
+
+}  // namespace netadv::util

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <cstdlib>
+
+namespace netadv::util {
+
+namespace {
+LogLevel g_level = [] {
+  if (const char* env = std::getenv("NETADV_LOG")) return parse_log_level(env);
+  return LogLevel::kInfo;
+}();
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel parse_log_level(const std::string& name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+namespace detail {
+void log_line(LogLevel level, const char* tag, const std::string& message) {
+  std::FILE* sink = level >= LogLevel::kWarn ? stderr : stdout;
+  std::fprintf(sink, "[netadv %s] %s\n", tag, message.c_str());
+}
+}  // namespace detail
+
+}  // namespace netadv::util

@@ -1,0 +1,53 @@
+// Tiny leveled logger. Benchmarks and long training loops use it for
+// progress lines; tests run with the level raised to kWarn to stay quiet.
+// Not thread-safe by design — netadv is single-threaded per experiment.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace netadv::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; unknown strings map to kInfo.
+LogLevel parse_log_level(const std::string& name) noexcept;
+
+namespace detail {
+void log_line(LogLevel level, const char* tag, const std::string& message);
+}
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  const char* tag = level == LogLevel::kDebug  ? "DEBUG"
+                    : level == LogLevel::kInfo ? "INFO"
+                    : level == LogLevel::kWarn ? "WARN"
+                                               : "ERROR";
+  detail::log_line(level, tag, buf);
+}
+
+template <typename... Args>
+void log_debug(const char* fmt, Args... args) {
+  logf(LogLevel::kDebug, fmt, args...);
+}
+template <typename... Args>
+void log_info(const char* fmt, Args... args) {
+  logf(LogLevel::kInfo, fmt, args...);
+}
+template <typename... Args>
+void log_warn(const char* fmt, Args... args) {
+  logf(LogLevel::kWarn, fmt, args...);
+}
+template <typename... Args>
+void log_error(const char* fmt, Args... args) {
+  logf(LogLevel::kError, fmt, args...);
+}
+
+}  // namespace netadv::util

@@ -1,0 +1,31 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace netadv::util {
+
+double Rng::normal() noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  has_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) noexcept {
+  // Inverse-CDF; uniform() < 1 so the log argument is strictly positive.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+}  // namespace netadv::util

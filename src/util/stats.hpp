@@ -1,0 +1,109 @@
+// Small statistics toolkit used across the simulators, the RL substrate and
+// the benchmark harnesses: streaming moments (Welford), EWMA smoothing,
+// percentiles / empirical CDFs, and a fixed-capacity sliding window.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace netadv::util {
+
+/// Streaming mean/variance via Welford's algorithm; O(1) memory.
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStat{}; }
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exponentially weighted moving average. `alpha` is the weight of the new
+/// sample: value = alpha * x + (1 - alpha) * value. The first sample
+/// initializes the average directly.
+class Ewma {
+ public:
+  explicit Ewma(double alpha) : alpha_(alpha) {
+    if (alpha <= 0.0 || alpha > 1.0) {
+      throw std::invalid_argument{"Ewma alpha must be in (0, 1]"};
+    }
+  }
+
+  void add(double x) noexcept {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+  }
+
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+  void reset() noexcept {
+    value_ = 0.0;
+    initialized_ = false;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-capacity FIFO of doubles with O(1) push and aggregate queries;
+/// used for throughput/download-time histories in protocol state.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void push(double x);
+  std::size_t size() const noexcept { return buf_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool full() const noexcept { return buf_.size() == capacity_; }
+  double operator[](std::size_t i) const { return buf_.at(i); }
+  double back() const { return buf_.back(); }
+  double front() const { return buf_.front(); }
+  double mean() const noexcept;
+  double min() const noexcept;
+  double max() const noexcept;
+  /// Harmonic mean; samples must be positive. Returns 0 on empty window.
+  double harmonic_mean() const noexcept;
+  void clear() noexcept { buf_.clear(); }
+  const std::deque<double>& values() const noexcept { return buf_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> buf_;
+};
+
+/// Percentile of a sample set with linear interpolation between order
+/// statistics. `p` in [0, 100]. Throws on empty input.
+double percentile(std::span<const double> xs, double p);
+
+struct CdfPoint {
+  double value;
+  double cumulative_probability;
+};
+
+/// Empirical CDF (sorted sample values with cumulative probabilities),
+/// suitable for plotting Figure-1-style curves. Throws on empty input.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+double mean(std::span<const double> xs);
+
+}  // namespace netadv::util

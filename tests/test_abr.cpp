@@ -1,0 +1,523 @@
+// Tests for the ABR substrate: video manifest, QoE_lin, the streaming
+// simulator's conservation invariants, BB's rate map, MPC's prediction and
+// planning, the offline optimum, and the playback runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "abr/bb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/optimal.hpp"
+#include "abr/qoe.hpp"
+#include "abr/runner.hpp"
+#include "abr/sim.hpp"
+#include "abr/video.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netadv::abr;
+using netadv::trace::Segment;
+using netadv::trace::Trace;
+using netadv::util::Rng;
+
+VideoManifest exact_manifest() {
+  VideoManifest::Params p;
+  p.size_variation = 0.0;  // sizes exactly bitrate * duration
+  return VideoManifest{p};
+}
+
+Trace constant_trace(double bw_mbps, std::size_t segments = 48,
+                     double duration = 4.0) {
+  Trace t;
+  for (std::size_t i = 0; i < segments; ++i) {
+    t.append({duration, bw_mbps, 80.0, 0.0});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------- manifest
+
+TEST(VideoManifest, DefaultsMatchPensieveSetup) {
+  const VideoManifest m;
+  EXPECT_EQ(m.num_qualities(), 6u);
+  EXPECT_EQ(m.num_chunks(), 48u);
+  EXPECT_DOUBLE_EQ(m.chunk_duration_s(), 4.0);
+  EXPECT_DOUBLE_EQ(m.bitrate_kbps(0), 300.0);
+  EXPECT_DOUBLE_EQ(m.bitrate_kbps(5), 4300.0);
+  EXPECT_DOUBLE_EQ(m.max_bitrate_mbps(), 4.3);
+  EXPECT_DOUBLE_EQ(m.total_duration_s(), 192.0);
+}
+
+TEST(VideoManifest, ChunkSizeIsBitrateTimesDuration) {
+  const VideoManifest m = exact_manifest();
+  // 300 kbps * 4 s = 1.2 Mbit
+  EXPECT_NEAR(m.chunk_size_bits(0, 0), 1.2e6, 1.0);
+  EXPECT_NEAR(m.chunk_size_bits(10, 5), 17.2e6, 1.0);
+}
+
+TEST(VideoManifest, SizesVaryButStayBounded) {
+  VideoManifest::Params p;
+  p.size_variation = 0.1;
+  const VideoManifest m{p};
+  for (std::size_t i = 0; i < m.num_chunks(); ++i) {
+    const double nominal = 1.2e6;
+    const double s = m.chunk_size_bits(i, 0);
+    EXPECT_GE(s, nominal * 0.9 - 1.0);
+    EXPECT_LE(s, nominal * 1.1 + 1.0);
+  }
+}
+
+TEST(VideoManifest, SameSeedSameSizes) {
+  const VideoManifest a;
+  const VideoManifest b;
+  for (std::size_t i = 0; i < a.num_chunks(); ++i) {
+    EXPECT_DOUBLE_EQ(a.chunk_size_bits(i, 3), b.chunk_size_bits(i, 3));
+  }
+}
+
+TEST(VideoManifest, ChunkSizesVectorMatchesScalar) {
+  const VideoManifest m;
+  const auto sizes = m.chunk_sizes_bits(7);
+  ASSERT_EQ(sizes.size(), 6u);
+  for (std::size_t q = 0; q < 6; ++q) {
+    EXPECT_DOUBLE_EQ(sizes[q], m.chunk_size_bits(7, q));
+  }
+}
+
+TEST(VideoManifest, ValidatesParameters) {
+  VideoManifest::Params bad;
+  bad.bitrates_kbps = {300, 300};
+  EXPECT_THROW(VideoManifest{bad}, std::invalid_argument);
+  bad.bitrates_kbps = {};
+  EXPECT_THROW(VideoManifest{bad}, std::invalid_argument);
+  VideoManifest::Params bad2;
+  bad2.num_chunks = 0;
+  EXPECT_THROW(VideoManifest{bad2}, std::invalid_argument);
+  VideoManifest::Params bad3;
+  bad3.size_variation = 1.5;
+  EXPECT_THROW(VideoManifest{bad3}, std::invalid_argument);
+}
+
+TEST(VideoManifest, OutOfRangeChunkThrows) {
+  const VideoManifest m;
+  EXPECT_THROW(m.chunk_size_bits(48, 0), std::out_of_range);
+  EXPECT_THROW(m.chunk_size_bits(0, 6), std::out_of_range);
+}
+
+// ---------------------------------------------------------------- qoe
+
+TEST(Qoe, ChunkQoeComponents) {
+  const QoeParams p;
+  // 2 Mbps, 1 s stall, previous 3 Mbps: 2 - 4.3 - 1 = -3.3
+  EXPECT_NEAR(chunk_qoe(2.0, 1.0, 3.0, p), -3.3, 1e-12);
+  EXPECT_NEAR(chunk_qoe(2.0, 0.0, 2.0, p), 2.0, 1e-12);
+}
+
+TEST(Qoe, TotalQoeMatchesPaperFormula) {
+  // R = {1, 3, 2}, T = {0, 0.5, 0}:
+  // sum R = 6; 4.3 * 0.5 = 2.15; |3-1| + |2-3| = 3  ->  0.85
+  const std::vector<double> r{1.0, 3.0, 2.0};
+  const std::vector<double> t{0.0, 0.5, 0.0};
+  EXPECT_NEAR(total_qoe(r, t), 0.85, 1e-12);
+}
+
+TEST(Qoe, SmoothnessChargedOncePerTransition) {
+  const std::vector<double> r{1.0, 1.0, 1.0};
+  const std::vector<double> t{0.0, 0.0, 0.0};
+  EXPECT_NEAR(total_qoe(r, t), 3.0, 1e-12);
+}
+
+TEST(Qoe, RejectsBadSpans) {
+  const std::vector<double> r{1.0};
+  const std::vector<double> t;
+  EXPECT_THROW(total_qoe(r, t), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- sim
+
+TEST(StreamingSession, FirstChunkColdStartStalls) {
+  const VideoManifest m = exact_manifest();
+  StreamingSession s{m};
+  // 1.2 Mbit at 1.2 Mbps -> 1 s download, all of it stalled (empty buffer).
+  const DownloadResult r = s.download_next(0, 1.2);
+  EXPECT_NEAR(r.download_time_s, 1.0, 1e-9);
+  EXPECT_NEAR(r.rebuffer_s, 1.0, 1e-9);
+  EXPECT_NEAR(r.buffer_after_s, 4.0, 1e-9);
+  EXPECT_EQ(s.next_chunk(), 1u);
+}
+
+TEST(StreamingSession, BufferAbsorbsDownloadTime) {
+  const VideoManifest m = exact_manifest();
+  StreamingSession s{m};
+  s.download_next(0, 12.0);  // dt = 0.1 s, buffer -> 3.9 + ... = 4 - 0.1? no:
+  // After chunk 1: buffer = max(0, 0-0.1)+4 = 4.0 - wait, 0.1 s of it stalls.
+  // Second chunk at same rate: dt = 0.1, buffer 4 -> 3.9 + 4 = 7.9, no stall.
+  const DownloadResult r = s.download_next(0, 12.0);
+  EXPECT_NEAR(r.rebuffer_s, 0.0, 1e-9);
+  EXPECT_NEAR(r.buffer_after_s, 7.9, 1e-9);
+}
+
+TEST(StreamingSession, BufferCapsAndSleeps) {
+  const VideoManifest m = exact_manifest();
+  StreamingSession s{m, {.max_buffer_s = 8.0}};
+  s.download_next(0, 1000.0);
+  s.download_next(0, 1000.0);
+  const DownloadResult r = s.download_next(0, 1000.0);
+  EXPECT_GT(r.sleep_s, 0.0);
+  EXPECT_NEAR(r.buffer_after_s, 8.0, 1e-6);
+}
+
+TEST(StreamingSession, BufferNeverNegativeAndTimeMonotone) {
+  const VideoManifest m;
+  StreamingSession s{m};
+  Rng rng{7};
+  double last_clock = 0.0;
+  while (!s.finished()) {
+    const auto q = rng.index(m.num_qualities());
+    const double bw = rng.uniform(0.3, 5.0);
+    const DownloadResult r = s.download_next(q, bw);
+    EXPECT_GE(r.buffer_after_s, 0.0);
+    EXPECT_GE(r.rebuffer_s, 0.0);
+    EXPECT_GE(s.clock_s(), last_clock);
+    last_clock = s.clock_s();
+  }
+  EXPECT_EQ(s.next_chunk(), m.num_chunks());
+}
+
+TEST(StreamingSession, WallClockAccountsForPlaybackConservation) {
+  // With no sleeping and no stalls the clock equals sum of download times;
+  // stalls add on top. Invariant: clock >= sum(download) and
+  // clock == sum(download) + sum(sleep).
+  const VideoManifest m = exact_manifest();
+  StreamingSession s{m};
+  double dl = 0.0;
+  double sleep = 0.0;
+  while (!s.finished()) {
+    const DownloadResult r = s.download_next(2, 2.0);
+    dl += r.download_time_s;
+    sleep += r.sleep_s;
+  }
+  EXPECT_NEAR(s.clock_s(), dl + sleep, 1e-9);
+}
+
+TEST(StreamingSession, FinishedSessionThrows) {
+  VideoManifest::Params p;
+  p.num_chunks = 2;
+  const VideoManifest m{p};
+  StreamingSession s{m};
+  s.download_next(0, 1.0);
+  s.download_next(0, 1.0);
+  EXPECT_TRUE(s.finished());
+  EXPECT_THROW(s.download_next(0, 1.0), std::logic_error);
+}
+
+TEST(StreamingSession, ValidatesInputs) {
+  const VideoManifest m;
+  StreamingSession s{m};
+  EXPECT_THROW(s.download_next(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.download_next(0, 0.0), std::invalid_argument);
+  EXPECT_THROW((StreamingSession{m, {.max_buffer_s = -1.0}}),
+               std::invalid_argument);
+}
+
+TEST(StreamingSession, RestartResets) {
+  const VideoManifest m;
+  StreamingSession s{m};
+  s.download_next(0, 1.0);
+  s.restart();
+  EXPECT_EQ(s.next_chunk(), 0u);
+  EXPECT_DOUBLE_EQ(s.buffer_s(), 0.0);
+  EXPECT_DOUBLE_EQ(s.clock_s(), 0.0);
+}
+
+// ---------------------------------------------------------------- bb
+
+TEST(BufferBased, RateMapEndpoints) {
+  const VideoManifest m;
+  BufferBased bb;
+  bb.begin_video(m);
+  AbrObservation obs;
+  obs.buffer_s = 5.0;  // below reservoir
+  EXPECT_EQ(bb.choose_quality(obs), 0u);
+  obs.buffer_s = 10.0;  // at reservoir boundary
+  EXPECT_EQ(bb.choose_quality(obs), 0u);
+  obs.buffer_s = 15.0;  // at reservoir + cushion
+  EXPECT_EQ(bb.choose_quality(obs), 5u);
+  obs.buffer_s = 40.0;
+  EXPECT_EQ(bb.choose_quality(obs), 5u);
+}
+
+TEST(BufferBased, RateMapIsMonotoneInBuffer) {
+  const VideoManifest m;
+  BufferBased bb;
+  bb.begin_video(m);
+  AbrObservation obs;
+  std::size_t last = 0;
+  for (double b = 0.0; b <= 20.0; b += 0.25) {
+    obs.buffer_s = b;
+    const std::size_t q = bb.choose_quality(obs);
+    EXPECT_GE(q, last);
+    last = q;
+  }
+  EXPECT_EQ(last, 5u);
+}
+
+TEST(BufferBased, SwitchingBandIsReservoirToCushion) {
+  // The paper: BB changes rate when buffer is in the 10-15 s range.
+  const VideoManifest m;
+  BufferBased bb;
+  bb.begin_video(m);
+  AbrObservation obs;
+  obs.buffer_s = 12.5;
+  const std::size_t mid = bb.choose_quality(obs);
+  EXPECT_GT(mid, 0u);
+  EXPECT_LT(mid, 5u);
+}
+
+TEST(BufferBased, RequiresBeginVideo) {
+  BufferBased bb;
+  AbrObservation obs;
+  EXPECT_THROW(bb.choose_quality(obs), std::logic_error);
+}
+
+TEST(BufferBased, ValidatesParams) {
+  EXPECT_THROW((BufferBased{{.reservoir_s = -1.0, .cushion_s = 5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW((BufferBased{{.reservoir_s = 5.0, .cushion_s = 0.0}}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- mpc
+
+TEST(RobustMpc, PredictsHarmonicMean) {
+  const VideoManifest m;
+  RobustMpc mpc{{.robust = false}};
+  mpc.begin_video(m);
+  AbrObservation obs;
+  obs.throughput_history_mbps = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(mpc.predicted_throughput_mbps(obs), 12.0 / 7.0, 1e-9);
+}
+
+TEST(RobustMpc, ColdStartPredictsLowestBitrate) {
+  const VideoManifest m;
+  RobustMpc mpc;
+  mpc.begin_video(m);
+  AbrObservation obs;
+  EXPECT_NEAR(mpc.predicted_throughput_mbps(obs), 0.3, 1e-9);
+}
+
+TEST(RobustMpc, PicksHighRateOnFastStableLink) {
+  const VideoManifest m = exact_manifest();
+  RobustMpc mpc;
+  const Trace t = constant_trace(4.8);
+  const PlaybackRecord record = run_playback(mpc, m, t);
+  // Steady 4.8 Mbps: after ramp-up MPC should sit at 2.85 or 4.3 Mbps.
+  int high = 0;
+  for (std::size_t i = 8; i < record.chunks.size(); ++i) {
+    if (record.chunks[i].bitrate_mbps >= 2.85) ++high;
+  }
+  EXPECT_GT(high, 35);
+  EXPECT_NEAR(record.total_rebuffer_s, 0.0, 0.5);
+}
+
+TEST(RobustMpc, PicksLowRateOnSlowLink) {
+  const VideoManifest m = exact_manifest();
+  RobustMpc mpc;
+  const Trace t = constant_trace(0.4);
+  const PlaybackRecord record = run_playback(mpc, m, t);
+  for (std::size_t i = 4; i < record.chunks.size(); ++i) {
+    EXPECT_LE(record.chunks[i].bitrate_mbps, 0.75);
+  }
+}
+
+TEST(RobustMpc, RobustVariantIsMoreConservative) {
+  const VideoManifest m = exact_manifest();
+  RobustMpc robust{{.robust = true}};
+  RobustMpc fast{{.robust = false}};
+  // Oscillating link makes prediction errors large.
+  Trace t;
+  for (int i = 0; i < 48; ++i) {
+    t.append({4.0, i % 2 == 0 ? 4.0 : 1.0, 80.0, 0.0});
+  }
+  const PlaybackRecord rr = run_playback(robust, m, t);
+  const PlaybackRecord rf = run_playback(fast, m, t);
+  EXPECT_LE(rr.total_rebuffer_s, rf.total_rebuffer_s + 1e-9);
+}
+
+TEST(RobustMpc, ValidatesParams) {
+  EXPECT_THROW((RobustMpc{{.horizon = 0}}), std::invalid_argument);
+  EXPECT_THROW((RobustMpc{{.throughput_window = 0}}), std::invalid_argument);
+}
+
+TEST(RobustMpc, RequiresBeginVideo) {
+  RobustMpc mpc;
+  AbrObservation obs;
+  EXPECT_THROW(mpc.choose_quality(obs), std::logic_error);
+}
+
+// ---------------------------------------------------------------- optimal
+
+TEST(OfflineOptimal, BeatsEveryProtocolOnRandomTraces) {
+  const VideoManifest m = exact_manifest();
+  netadv::trace::UniformRandomGenerator gen{{}};
+  Rng rng{11};
+  BufferBased bb;
+  RobustMpc mpc;
+  for (int i = 0; i < 5; ++i) {
+    const Trace t = gen.generate(rng);
+    const OptimalPlan plan = optimal_playback(m, t);
+    const double bb_qoe = run_playback(bb, m, t).total_qoe;
+    const double mpc_qoe = run_playback(mpc, m, t).total_qoe;
+    // Small slack for DP buffer quantization.
+    EXPECT_GE(plan.total_qoe + 0.5, bb_qoe) << "trace " << i;
+    EXPECT_GE(plan.total_qoe + 0.5, mpc_qoe) << "trace " << i;
+  }
+}
+
+TEST(OfflineOptimal, PlanQoeMatchesReplay) {
+  const VideoManifest m = exact_manifest();
+  const Trace t = constant_trace(2.0);
+  const OptimalPlan plan = optimal_playback(m, t);
+  ASSERT_EQ(plan.qualities.size(), m.num_chunks());
+
+  // Replay the plan through the real simulator and recompute QoE.
+  StreamingSession s{m};
+  std::vector<double> bitrates;
+  std::vector<double> rebuffers;
+  for (std::size_t i = 0; i < plan.qualities.size(); ++i) {
+    const DownloadResult r = s.download_next(plan.qualities[i], 2.0);
+    bitrates.push_back(r.bitrate_mbps);
+    rebuffers.push_back(r.rebuffer_s);
+  }
+  const double replay_qoe = total_qoe(bitrates, rebuffers);
+  EXPECT_NEAR(plan.total_qoe, replay_qoe, 1.0);  // quantization slack
+}
+
+TEST(OfflineOptimal, SaturatesAtTopRateOnFastLink) {
+  const VideoManifest m = exact_manifest();
+  const Trace t = constant_trace(50.0);
+  const OptimalPlan plan = optimal_playback(m, t);
+  int top = 0;
+  for (std::size_t q : plan.qualities) top += (q == 5) ? 1 : 0;
+  EXPECT_GT(top, 40);
+}
+
+TEST(OptimalWindow, OptimalAtLeastAnyFixedPlan) {
+  const VideoManifest m = exact_manifest();
+  const std::vector<double> bw{1.0, 3.0, 0.9, 2.5};
+  const double opt = optimal_window_qoe(m, 10, 8.0, 1.2, bw);
+  Rng rng{13};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::size_t> plan(4);
+    for (auto& q : plan) q = rng.index(6);
+    const double fixed = window_qoe(m, 10, 8.0, 1.2, plan, bw);
+    EXPECT_GE(opt + 1e-9, fixed);
+  }
+}
+
+TEST(OptimalWindow, WindowQoeHandComputed) {
+  const VideoManifest m = exact_manifest();
+  // One chunk at quality 0 (1.2 Mbit) over 1.2 Mbps from a 4 s buffer:
+  // dt = 1 s, no stall, qoe = 0.3 - |0.3 - 0.3| = 0.3.
+  const std::vector<std::size_t> plan{0};
+  const std::vector<double> bw{1.2};
+  EXPECT_NEAR(window_qoe(m, 0, 4.0, 0.3, plan, bw), 0.3, 1e-9);
+  // Same but from empty buffer: 1 s stall -> 0.3 - 4.3 = -4.0.
+  EXPECT_NEAR(window_qoe(m, 0, 0.0, 0.3, plan, bw), -4.0, 1e-9);
+}
+
+TEST(OptimalWindow, ValidatesInputs) {
+  const VideoManifest m;
+  const std::vector<double> empty;
+  EXPECT_THROW(optimal_window_qoe(m, 0, 0.0, 0.3, empty),
+               std::invalid_argument);
+  const std::vector<double> bad{-1.0};
+  EXPECT_THROW(optimal_window_qoe(m, 0, 0.0, 0.3, bad), std::invalid_argument);
+  const std::vector<std::size_t> plan{0};
+  const std::vector<double> bw{1.0, 2.0};
+  EXPECT_THROW(window_qoe(m, 0, 0.0, 0.3, plan, bw), std::invalid_argument);
+}
+
+TEST(OptimalWindow, WindowPastVideoEndIsTruncated) {
+  VideoManifest::Params p;
+  p.num_chunks = 2;
+  p.size_variation = 0.0;
+  const VideoManifest m{p};
+  const std::vector<double> bw{2.0, 2.0, 2.0, 2.0};
+  // Only 2 chunks remain from chunk 0; should not throw.
+  const double q = optimal_window_qoe(m, 0, 0.0, 0.3, bw);
+  EXPECT_GT(q, -1e17);
+}
+
+// ---------------------------------------------------------------- runner
+
+TEST(Runner, BandwidthForChunkClampsToLastSegment) {
+  const Trace t = constant_trace(2.0, 3);
+  EXPECT_DOUBLE_EQ(bandwidth_for_chunk(t, 0), 2.0);
+  EXPECT_DOUBLE_EQ(bandwidth_for_chunk(t, 99), 2.0);
+  const Trace empty;
+  EXPECT_THROW(bandwidth_for_chunk(empty, 0), std::invalid_argument);
+}
+
+TEST(Runner, RecordsAreInternallyConsistent) {
+  const VideoManifest m;
+  BufferBased bb;
+  const Trace t = constant_trace(2.0);
+  const PlaybackRecord r = run_playback(bb, m, t);
+  ASSERT_EQ(r.chunks.size(), m.num_chunks());
+  double rebuf = 0.0;
+  for (const auto& c : r.chunks) rebuf += c.rebuffer_s;
+  EXPECT_NEAR(r.total_rebuffer_s, rebuf, 1e-9);
+  EXPECT_NEAR(r.mean_chunk_qoe * static_cast<double>(m.num_chunks()),
+              r.total_qoe, 1e-9);
+  EXPECT_GT(r.mean_bitrate_mbps, 0.0);
+}
+
+TEST(Runner, HistoryWindowIsBounded) {
+  // A protocol that asserts on the history length it sees.
+  class Probe final : public AbrProtocol {
+   public:
+    std::string name() const override { return "probe"; }
+    void begin_video(const VideoManifest&) override {}
+    std::size_t choose_quality(const AbrObservation& obs) override {
+      EXPECT_LE(obs.throughput_history_mbps.size(), 3u);
+      EXPECT_LE(obs.download_time_history_s.size(), 3u);
+      if (!obs.throughput_history_mbps.empty()) {
+        max_seen = std::max(max_seen, obs.throughput_history_mbps.size());
+      }
+      return 0;
+    }
+    std::size_t max_seen = 0;
+  };
+  const VideoManifest m;
+  Probe probe;
+  run_playback(probe, m, constant_trace(2.0), {}, /*history_window=*/3);
+  EXPECT_EQ(probe.max_seen, 3u);
+}
+
+TEST(Runner, QoePerTraceMatchesSingleRuns) {
+  const VideoManifest m;
+  BufferBased bb;
+  const std::vector<Trace> traces{constant_trace(1.0), constant_trace(3.0)};
+  const auto qoes = qoe_per_trace(bb, m, traces);
+  ASSERT_EQ(qoes.size(), 2u);
+  EXPECT_NEAR(qoes[0], run_playback(bb, m, traces[0]).mean_chunk_qoe, 1e-12);
+  EXPECT_NEAR(qoes[1], run_playback(bb, m, traces[1]).mean_chunk_qoe, 1e-12);
+  EXPECT_GT(qoes[1], qoes[0]);  // faster link, better QoE
+}
+
+TEST(Runner, FasterLinkNeverHurtsBb) {
+  const VideoManifest m;
+  BufferBased bb;
+  double last = -1e18;
+  for (double bw : {0.5, 1.0, 2.0, 4.0}) {
+    const double qoe = run_playback(bb, m, constant_trace(bw)).total_qoe;
+    EXPECT_GE(qoe, last - 1e-9);
+    last = qoe;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Tests for the CEM trace-based adversary (Section 2.1's alternative
+// formulation) and the throughput-rule ABR baseline.
+#include <gtest/gtest.h>
+
+#include "abr/bb.hpp"
+#include "abr/optimal.hpp"
+#include "abr/runner.hpp"
+#include "abr/throughput_rule.hpp"
+#include "core/cem_adversary.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netadv;
+using netadv::util::Rng;
+
+abr::VideoManifest exact_manifest() {
+  abr::VideoManifest::Params p;
+  p.size_variation = 0.0;
+  return abr::VideoManifest{p};
+}
+
+// ---------------------------------------------------------------- CEM
+
+TEST(CemTraceAdversary, FindsHighRegretTraceAgainstBb) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::BufferBased bb;
+  core::CemTraceAdversary::Params p;
+  p.population = 24;
+  p.elites = 6;
+  p.iterations = 12;
+  core::CemTraceAdversary cem{p};
+  Rng rng{71};
+  const auto result = cem.search(m, bb, rng);
+
+  // Baseline: mean regret of random traces.
+  trace::UniformRandomGenerator gen{{}};
+  double random_regret = 0.0;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    const trace::Trace t = gen.generate(rng);
+    abr::BufferBased target;
+    random_regret += abr::optimal_playback(m, t).total_qoe -
+                     abr::run_playback(target, m, t).total_qoe;
+  }
+  random_regret /= n;
+  EXPECT_GT(result.best_regret, random_regret);
+  EXPECT_EQ(result.best_trace.size(), m.num_chunks());
+  EXPECT_EQ(result.evaluations, p.population * p.iterations);
+}
+
+TEST(CemTraceAdversary, ObjectiveHistoryIsMonotone) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::BufferBased bb;
+  core::CemTraceAdversary::Params p;
+  p.population = 12;
+  p.elites = 4;
+  p.iterations = 8;
+  core::CemTraceAdversary cem{p};
+  Rng rng{73};
+  const auto result = cem.search(m, bb, rng);
+  ASSERT_EQ(result.objective_history.size(), p.iterations);
+  for (std::size_t i = 1; i < result.objective_history.size(); ++i) {
+    EXPECT_GE(result.objective_history[i], result.objective_history[i - 1]);
+  }
+}
+
+TEST(CemTraceAdversary, TraceIsPerfectlyReplayable) {
+  // The trace-based adversary's selling point (Section 2.1): replaying its
+  // trace reproduces the exact damage, every time.
+  const abr::VideoManifest m = exact_manifest();
+  abr::BufferBased bb;
+  core::CemTraceAdversary::Params p;
+  p.population = 12;
+  p.elites = 4;
+  p.iterations = 6;
+  core::CemTraceAdversary cem{p};
+  Rng rng{79};
+  const auto result = cem.search(m, bb, rng);
+  abr::BufferBased t1;
+  abr::BufferBased t2;
+  const double q1 = abr::run_playback(t1, m, result.best_trace).total_qoe;
+  const double q2 = abr::run_playback(t2, m, result.best_trace).total_qoe;
+  EXPECT_DOUBLE_EQ(q1, q2);
+}
+
+TEST(CemTraceAdversary, TracesStayInBounds) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::BufferBased bb;
+  core::CemTraceAdversary cem;
+  Rng rng{83};
+  core::CemTraceAdversary::Params p = cem.params();
+  const auto result = core::CemTraceAdversary{p}.search(m, bb, rng);
+  for (const auto& s : result.best_trace.segments()) {
+    EXPECT_GE(s.bandwidth_mbps, 0.8);
+    EXPECT_LE(s.bandwidth_mbps, 4.8);
+  }
+}
+
+TEST(CemTraceAdversary, SmoothingWeightTamesVariation) {
+  const abr::VideoManifest m = exact_manifest();
+  core::CemTraceAdversary::Params smooth;
+  smooth.population = 16;
+  smooth.elites = 4;
+  smooth.iterations = 10;
+  smooth.smoothing_weight = 2.0;
+  core::CemTraceAdversary::Params rough = smooth;
+  rough.smoothing_weight = 0.0;
+
+  Rng rng1{89};
+  Rng rng2{89};
+  abr::BufferBased bb1;
+  abr::BufferBased bb2;
+  const auto rs = core::CemTraceAdversary{smooth}.search(m, bb1, rng1);
+  const auto rr = core::CemTraceAdversary{rough}.search(m, bb2, rng2);
+  EXPECT_LE(rs.best_trace.bandwidth_total_variation(),
+            rr.best_trace.bandwidth_total_variation() + 1e-9);
+}
+
+TEST(CemTraceAdversary, ValidatesParams) {
+  core::CemTraceAdversary::Params bad;
+  bad.elites = 0;
+  EXPECT_THROW(core::CemTraceAdversary{bad}, std::invalid_argument);
+  core::CemTraceAdversary::Params bad2;
+  bad2.elites = bad2.population + 1;
+  EXPECT_THROW(core::CemTraceAdversary{bad2}, std::invalid_argument);
+  core::CemTraceAdversary::Params bad3;
+  bad3.bandwidth_max_mbps = bad3.bandwidth_min_mbps;
+  EXPECT_THROW(core::CemTraceAdversary{bad3}, std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- ThroughputRule
+
+TEST(ThroughputRule, PicksHighestAffordableBitrate) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::ThroughputRule rule;
+  rule.begin_video(m);
+  abr::AbrObservation obs;
+  obs.throughput_history_mbps = {2.0, 2.0, 2.0};
+  // Estimate 2.0, budget 1.8 -> best rung <= 1.8 Mbps is 1.2 Mbps (index 2).
+  EXPECT_EQ(rule.choose_quality(obs), 2u);
+}
+
+TEST(ThroughputRule, ColdStartPicksLowest) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::ThroughputRule rule;
+  rule.begin_video(m);
+  abr::AbrObservation obs;
+  EXPECT_EQ(rule.choose_quality(obs), 0u);
+}
+
+TEST(ThroughputRule, HarmonicMeanPunishesDips) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::ThroughputRule rule;
+  rule.begin_video(m);
+  abr::AbrObservation obs;
+  obs.throughput_history_mbps = {4.0, 4.0, 0.5};
+  // Harmonic mean of {4,4,0.5} = 3/(0.25+0.25+2) = 1.2 — far below the
+  // arithmetic mean (2.83); the rule reacts strongly to the dip.
+  EXPECT_NEAR(rule.estimate_mbps(obs), 1.2, 1e-9);
+}
+
+TEST(ThroughputRule, ReasonableQoeOnSteadyLink) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::ThroughputRule rule;
+  trace::Trace t;
+  for (int i = 0; i < 48; ++i) t.append({4.0, 3.0, 80.0, 0.0});
+  const abr::PlaybackRecord record = abr::run_playback(rule, m, t);
+  EXPECT_GT(record.total_qoe, 48.0 * 1.5);  // sustained >= 1.85 Mbps rungs
+  EXPECT_LT(record.total_rebuffer_s, 3.0);
+}
+
+TEST(ThroughputRule, NeverExceedsOfflineOptimal) {
+  const abr::VideoManifest m = exact_manifest();
+  abr::ThroughputRule rule;
+  trace::UniformRandomGenerator gen{{}};
+  Rng rng{97};
+  for (int i = 0; i < 5; ++i) {
+    const trace::Trace t = gen.generate(rng);
+    EXPECT_LE(abr::run_playback(rule, m, t).total_qoe,
+              abr::optimal_playback(m, t).total_qoe + 0.5);
+  }
+}
+
+TEST(ThroughputRule, ValidatesParamsAndLifecycle) {
+  abr::ThroughputRule::Params bad;
+  bad.window = 0;
+  EXPECT_THROW(abr::ThroughputRule{bad}, std::invalid_argument);
+  abr::ThroughputRule::Params bad2;
+  bad2.safety_factor = 1.5;
+  EXPECT_THROW(abr::ThroughputRule{bad2}, std::invalid_argument);
+  abr::ThroughputRule rule;
+  abr::AbrObservation obs;
+  EXPECT_THROW(rule.choose_quality(obs), std::logic_error);
+}
+
+}  // namespace

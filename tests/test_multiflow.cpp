@@ -1,0 +1,157 @@
+// Tests for the multi-flow runner: per-flow conservation, fair sharing of
+// homogeneous flows, the known BBR-vs-loss-based imbalance, staggered
+// arrivals, and Jain's fairness index.
+#include <gtest/gtest.h>
+
+#include "cc/bbr.hpp"
+#include "cc/cubic.hpp"
+#include "cc/multiflow.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netadv::cc;
+
+LinkSim::Params shared_link(double bw = 12.0, double owd = 30.0) {
+  LinkSim::Params p;
+  p.initial = {bw, owd, 0.0};
+  return p;
+}
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index({5.0, 5.0}), 1.0);
+  EXPECT_NEAR(jain_fairness_index({10.0, 0.0}), 0.5, 1e-12);
+  EXPECT_NEAR(jain_fairness_index({1.0, 1.0, 1.0, 1.0}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 0.0);
+}
+
+TEST(MultiFlow, PerFlowConservation) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 7};
+  runner.run_until(10.0);
+  for (std::size_t f = 0; f < 2; ++f) {
+    EXPECT_EQ(runner.total_sent(f),
+              runner.total_delivered(f) + runner.total_lost(f) +
+                  static_cast<std::uint64_t>(runner.inflight_packets(f)));
+  }
+}
+
+TEST(MultiFlow, TwoRenoFlowsShareFairly) {
+  RenoSender a;
+  RenoSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 11};
+  runner.run_until(10.0);
+  runner.collect();  // discard ramp-up
+  runner.run_until(40.0);
+  const auto interval = runner.collect();
+  const auto tput = interval.throughputs_mbps();
+  EXPECT_GT(jain_fairness_index(tput), 0.85);
+  EXPECT_GT(interval.aggregate_utilization(), 0.8);
+}
+
+TEST(MultiFlow, TwoCubicFlowsShareFairly) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 13};
+  runner.run_until(10.0);
+  runner.collect();
+  runner.run_until(40.0);
+  const auto interval = runner.collect();
+  EXPECT_GT(jain_fairness_index(interval.throughputs_mbps()), 0.8);
+}
+
+TEST(MultiFlow, BbrDominatesCubicOnShallowBuffer) {
+  // The well-known pathology: on a shallow buffer BBR's rate-based pacing
+  // starves the loss-based flow (it manufactures the drops Cubic backs off
+  // from while ignoring them itself).
+  BbrSender bbr;
+  CubicSender cubic;
+  LinkSim::Params link = shared_link();
+  link.max_queue_delay_s = 0.05;  // shallow
+  MultiFlowRunner runner{{&bbr, &cubic}, link, 17};
+  runner.run_until(10.0);
+  runner.collect();
+  runner.run_until(30.0);
+  const auto interval = runner.collect();
+  const auto tput = interval.throughputs_mbps();
+  EXPECT_GT(tput[0], 1.5 * tput[1]);
+}
+
+TEST(MultiFlow, StaggeredArrivalStartsLate) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 19, {0.0, 5.0}};
+  runner.run_until(4.9);
+  EXPECT_GT(runner.total_sent(0), 0u);
+  EXPECT_EQ(runner.total_sent(1), 0u);
+  runner.run_until(10.0);
+  EXPECT_GT(runner.total_sent(1), 0u);
+}
+
+TEST(MultiFlow, LateFlowGetsItsShareEventually) {
+  RenoSender a;
+  RenoSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 23, {0.0, 10.0}};
+  runner.run_until(20.0);
+  runner.collect();
+  runner.run_until(50.0);
+  const auto interval = runner.collect();
+  EXPECT_GT(jain_fairness_index(interval.throughputs_mbps()), 0.7);
+}
+
+TEST(MultiFlow, AggregateNeverExceedsCapacity) {
+  BbrSender a;
+  BbrSender b;
+  CubicSender c;
+  MultiFlowRunner runner{{&a, &b, &c}, shared_link(), 29};
+  runner.run_until(15.0);
+  const auto interval = runner.collect();
+  EXPECT_LE(interval.aggregate_utilization(), 1.0);
+  double total = 0.0;
+  for (double t : interval.throughputs_mbps()) total += t;
+  EXPECT_LE(total, 12.0 * 1.1);
+}
+
+TEST(MultiFlow, ConditionsChangeAffectsAllFlows) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(24.0), 31};
+  runner.run_until(10.0);
+  runner.collect();
+  runner.set_conditions({6.0, 30.0, 0.0});
+  runner.run_until(25.0);
+  const auto interval = runner.collect();
+  double total = 0.0;
+  for (double t : interval.throughputs_mbps()) total += t;
+  EXPECT_LT(total, 7.0);
+}
+
+TEST(MultiFlow, ValidatesConstruction) {
+  EXPECT_THROW((MultiFlowRunner{{}, shared_link(), 1}), std::invalid_argument);
+  CubicSender a;
+  EXPECT_THROW((MultiFlowRunner{{&a, nullptr}, shared_link(), 1}),
+               std::invalid_argument);
+  EXPECT_THROW((MultiFlowRunner{{&a}, shared_link(), 1, {0.0, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(MultiFlow, RunUntilPastThrows) {
+  CubicSender a;
+  MultiFlowRunner runner{{&a}, shared_link(), 37};
+  runner.run_until(1.0);
+  EXPECT_THROW(runner.run_until(0.5), std::invalid_argument);
+}
+
+TEST(MultiFlow, SingleFlowMatchesSoloBehaviour) {
+  BbrSender bbr;
+  MultiFlowRunner runner{{&bbr}, shared_link(), 41};
+  runner.run_until(5.0);
+  runner.collect();
+  runner.run_until(15.0);
+  const auto interval = runner.collect();
+  EXPECT_GT(interval.aggregate_utilization(), 0.8);
+}
+
+}  // namespace

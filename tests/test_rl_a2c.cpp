@@ -1,0 +1,130 @@
+// Correctness gates for the A2C trainer (the algorithm family Pensieve was
+// originally trained with): it must solve the toy environments, behave
+// polymorphically behind rl::Agent, and train a working Pensieve.
+#include <gtest/gtest.h>
+
+#include "abr/pensieve.hpp"
+#include "abr/runner.hpp"
+#include "rl/a2c.hpp"
+#include "rl/ppo.hpp"
+#include "rl/toy_envs.hpp"
+#include "trace/generators.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace netadv::rl;
+using netadv::util::Rng;
+
+A2cConfig small_config() {
+  A2cConfig cfg;
+  cfg.hidden_sizes = {16};
+  cfg.n_steps = 32;
+  cfg.learning_rate = 3e-3;
+  cfg.ent_coef = 0.01;
+  return cfg;
+}
+
+TEST(A2cTraining, SolvesContextualBandit) {
+  netadv::util::set_log_level(netadv::util::LogLevel::kWarn);
+  ContextualBanditEnv env{3, 4, 32};
+  A2cAgent agent{env.observation_size(), env.action_spec(), small_config(), 7};
+
+  Rng eval_rng{1};
+  const double before = agent.evaluate(env, 20, eval_rng);
+  agent.train(env, 30000);
+  const double after = agent.evaluate(env, 20, eval_rng);
+  EXPECT_GT(after, 28.0);  // optimal is 32
+  EXPECT_GT(after, before);
+}
+
+TEST(A2cTraining, SolvesContinuousTargetChase) {
+  TargetChaseEnv env{32};
+  A2cConfig cfg = small_config();
+  cfg.ent_coef = 0.0;
+  A2cAgent agent{env.observation_size(), env.action_spec(), cfg, 13};
+  agent.train(env, 60000);
+  Rng eval_rng{2};
+  EXPECT_GT(agent.evaluate(env, 20, eval_rng), -2.0);  // random ~ -10
+}
+
+TEST(A2cTraining, ReportIsConsistent) {
+  ContextualBanditEnv env{2, 2, 16};
+  A2cAgent agent{env.observation_size(), env.action_spec(), small_config(), 19};
+  const TrainReport report = agent.train(env, 1000);
+  EXPECT_GE(report.steps, 1000u);
+  EXPECT_EQ(report.steps % small_config().n_steps, 0u);
+  EXPECT_GT(report.updates, 0u);
+  EXPECT_GT(report.episodes, 0u);
+}
+
+TEST(A2cTraining, CallbackFiresPerUpdate) {
+  ContextualBanditEnv env{2, 2, 16};
+  A2cAgent agent{env.observation_size(), env.action_spec(), small_config(), 23};
+  std::size_t calls = 0;
+  agent.train(env, 320, [&](const UpdateInfo& info) {
+    ++calls;
+    EXPECT_EQ(info.update_index, calls);
+  });
+  EXPECT_EQ(calls, 10u);  // 320 steps / 32 per rollout
+}
+
+TEST(A2cTraining, ValidatesConstruction) {
+  EXPECT_THROW((A2cAgent{0, ActionSpec::discrete(2), small_config(), 1}),
+               std::invalid_argument);
+  EXPECT_THROW((A2cAgent{2, ActionSpec::discrete(1), small_config(), 1}),
+               std::invalid_argument);
+  A2cConfig bad = small_config();
+  bad.n_steps = 0;
+  EXPECT_THROW((A2cAgent{2, ActionSpec::discrete(2), bad, 1}),
+               std::invalid_argument);
+  ContextualBanditEnv env{3, 2, 8};
+  A2cAgent wrong{5, ActionSpec::discrete(2), small_config(), 1};
+  EXPECT_THROW(wrong.train(env, 100), std::invalid_argument);
+}
+
+TEST(AgentInterface, PolymorphicUseAcrossAlgorithms) {
+  ContextualBanditEnv env{2, 3, 16};
+  PpoConfig ppo_cfg;
+  ppo_cfg.hidden_sizes = {16};
+  ppo_cfg.n_steps = 256;
+  ppo_cfg.minibatch_size = 64;
+  ppo_cfg.learning_rate = 3e-3;
+  PpoAgent ppo{env.observation_size(), env.action_spec(), ppo_cfg, 29};
+  A2cAgent a2c{env.observation_size(), env.action_spec(), small_config(), 29};
+
+  for (Agent* agent : {static_cast<Agent*>(&ppo), static_cast<Agent*>(&a2c)}) {
+    agent->train(env, 8000);
+    Rng rng{3};
+    EXPECT_GT(agent->evaluate(env, 10, rng), 10.0);  // well above random (5.3)
+    EXPECT_EQ(agent->observation_size(), env.observation_size());
+    EXPECT_EQ(agent->action_spec().num_actions, 3u);
+  }
+}
+
+TEST(A2cPensieve, TrainsAServableProtocol) {
+  // The historical configuration: Pensieve features + A2C, deployed via
+  // PensievePolicy exactly like the PPO-trained one.
+  netadv::abr::VideoManifest::Params mp;
+  mp.size_variation = 0.0;
+  const netadv::abr::VideoManifest m{mp};
+  netadv::trace::FccLikeGenerator gen{{}};
+  Rng rng{31};
+  netadv::abr::PensieveEnv env{m, gen.generate_many(20, rng)};
+
+  A2cConfig cfg;
+  cfg.hidden_sizes = {64, 32};
+  cfg.ent_coef = 0.02;
+  A2cAgent agent{env.observation_size(), env.action_spec(), cfg, 31};
+  agent.train(env, 20000);
+
+  netadv::abr::PensievePolicy policy{agent, "pensieve-a2c"};
+  const auto traces = gen.generate_many(10, rng);
+  const auto qoe = netadv::abr::qoe_per_trace(policy, m, traces);
+  // Must be a functioning controller: clearly better than constant-worst.
+  EXPECT_GT(netadv::util::mean(qoe), -1.0);
+  EXPECT_EQ(policy.name(), "pensieve-a2c");
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// End-to-end correctness gates for the PPO trainer: it must solve the toy
+// environments with known optima, and checkpoints must round-trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "rl/checkpoint.hpp"
+#include "rl/ppo.hpp"
+#include "rl/toy_envs.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace netadv::rl;
+using netadv::util::Rng;
+
+PpoConfig small_config() {
+  PpoConfig cfg;
+  cfg.hidden_sizes = {16};
+  cfg.n_steps = 256;
+  cfg.minibatch_size = 64;
+  cfg.epochs = 6;
+  cfg.learning_rate = 3e-3;
+  cfg.ent_coef = 0.01;
+  return cfg;
+}
+
+TEST(PpoTraining, SolvesContextualBandit) {
+  netadv::util::set_log_level(netadv::util::LogLevel::kWarn);
+  ContextualBanditEnv env{3, 4, 32};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 7};
+
+  Rng eval_rng{1};
+  const double before = agent.evaluate(env, 20, eval_rng);
+  agent.train(env, 20000);
+  const double after = agent.evaluate(env, 20, eval_rng);
+
+  // Optimal is 32 (every step pays 1); random is 8.
+  EXPECT_GT(after, 28.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(PpoTraining, DeterministicPolicyPicksCorrectArms) {
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 11};
+  agent.train(env, 15000);
+  // Probe each context directly.
+  for (std::size_t ctx = 0; ctx < 2; ++ctx) {
+    Vec obs(2, 0.0);
+    obs[ctx] = 1.0;
+    const Vec action = agent.act_deterministic(obs);
+    EXPECT_EQ(static_cast<std::size_t>(action[0]), env.correct_arm(ctx))
+        << "context " << ctx;
+  }
+}
+
+TEST(PpoTraining, SolvesContinuousTargetChase) {
+  TargetChaseEnv env{32};
+  PpoConfig cfg = small_config();
+  cfg.ent_coef = 0.0;
+  PpoAgent agent{env.observation_size(), env.action_spec(), cfg, 13};
+
+  agent.train(env, 40000);
+  Rng eval_rng{2};
+  const double after = agent.evaluate(env, 20, eval_rng);
+  // Optimal reward is 0; random-policy reward is around -0.3 * 32 ~ -10.
+  EXPECT_GT(after, -1.5);
+
+  // The learned mean should approximate a = 0.5 * target after env mapping.
+  const Vec a_pos = env.action_spec().to_physical(agent.act_deterministic({0.8}));
+  const Vec a_neg = env.action_spec().to_physical(agent.act_deterministic({-0.8}));
+  EXPECT_NEAR(a_pos[0], 0.4, 0.15);
+  EXPECT_NEAR(a_neg[0], -0.4, 0.15);
+}
+
+TEST(PpoTraining, RewardImprovesMonotonicallyOnAverage) {
+  ContextualBanditEnv env{2, 2, 32};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 17};
+  std::vector<double> curve;
+  agent.train(env, 15000, [&](const UpdateInfo& info) {
+    curve.push_back(info.mean_episode_reward);
+  });
+  ASSERT_GE(curve.size(), 4u);
+  // Average of the last quarter must beat the first quarter.
+  const std::size_t q = curve.size() / 4;
+  double early = 0.0;
+  double late = 0.0;
+  for (std::size_t i = 0; i < q; ++i) early += curve[i];
+  for (std::size_t i = curve.size() - q; i < curve.size(); ++i) late += curve[i];
+  EXPECT_GT(late, early);
+}
+
+TEST(PpoTraining, TrainReportCountsAreConsistent) {
+  ContextualBanditEnv env{2, 2, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 19};
+  const TrainReport report = agent.train(env, 2000);
+  EXPECT_GE(report.steps, 2000u);
+  EXPECT_EQ(report.steps % small_config().n_steps, 0u);
+  EXPECT_GT(report.updates, 0u);
+  EXPECT_GT(report.episodes, 0u);
+}
+
+TEST(PpoTraining, MismatchedEnvObservationThrows) {
+  ContextualBanditEnv env{3, 2, 8};
+  PpoAgent agent{5, ActionSpec::discrete(2), small_config(), 23};
+  EXPECT_THROW(agent.train(env, 100), std::invalid_argument);
+}
+
+TEST(PpoAgent, ConstructorValidatesArguments) {
+  EXPECT_THROW((PpoAgent{0, ActionSpec::discrete(2), small_config(), 1}),
+               std::invalid_argument);
+  EXPECT_THROW((PpoAgent{2, ActionSpec::discrete(1), small_config(), 1}),
+               std::invalid_argument);
+  ActionSpec bad = ActionSpec::continuous({0.0}, {1.0, 2.0});
+  EXPECT_THROW((PpoAgent{2, bad, small_config(), 1}), std::invalid_argument);
+  PpoConfig bad_mb = small_config();
+  bad_mb.minibatch_size = bad_mb.n_steps + 1;
+  EXPECT_THROW((PpoAgent{2, ActionSpec::discrete(2), bad_mb, 1}),
+               std::invalid_argument);
+}
+
+TEST(Checkpoint, RoundTripPreservesBehaviour) {
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 29};
+  agent.train(env, 6000);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_ckpt_test.txt").string();
+  save_checkpoint(agent, path);
+
+  PpoAgent restored{env.observation_size(), env.action_spec(), small_config(), 999};
+  load_checkpoint(restored, path);
+
+  for (std::size_t ctx = 0; ctx < 2; ++ctx) {
+    Vec obs(2, 0.0);
+    obs[ctx] = 1.0;
+    EXPECT_EQ(agent.act_deterministic(obs)[0],
+              restored.act_deterministic(obs)[0]);
+    EXPECT_NEAR(agent.value_estimate(obs), restored.value_estimate(obs), 1e-9);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TopologyMismatchThrows) {
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 31};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_ckpt_bad.txt").string();
+  save_checkpoint(agent, path);
+
+  PpoAgent wrong_obs{3, env.action_spec(), small_config(), 31};
+  EXPECT_THROW(load_checkpoint(wrong_obs, path), std::runtime_error);
+
+  PpoAgent wrong_actions{2, ActionSpec::discrete(4), small_config(), 31};
+  EXPECT_THROW(load_checkpoint(wrong_actions, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileThrows) {
+  ContextualBanditEnv env{2, 2, 8};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 37};
+  EXPECT_THROW(load_checkpoint(agent, "/nonexistent/ckpt.txt"),
+               std::runtime_error);
+}
+
+TEST(ActionSpec, PhysicalMappingClipsAndScales) {
+  const ActionSpec spec = ActionSpec::continuous({6.0, 15.0}, {24.0, 60.0});
+  const Vec mid = spec.to_physical({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(mid[0], 15.0);
+  EXPECT_DOUBLE_EQ(mid[1], 37.5);
+  const Vec clipped = spec.to_physical({-7.0, 9.0});
+  EXPECT_DOUBLE_EQ(clipped[0], 6.0);
+  EXPECT_DOUBLE_EQ(clipped[1], 60.0);
+  const Vec back = spec.to_normalized({15.0, 37.5});
+  EXPECT_NEAR(back[0], 0.0, 1e-12);
+  EXPECT_NEAR(back[1], 0.0, 1e-12);
+}
+
+}  // namespace
