@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_new_targets.dir/bench/bench_ext_new_targets.cpp.o"
+  "CMakeFiles/bench_ext_new_targets.dir/bench/bench_ext_new_targets.cpp.o.d"
+  "bench/bench_ext_new_targets"
+  "bench/bench_ext_new_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_new_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

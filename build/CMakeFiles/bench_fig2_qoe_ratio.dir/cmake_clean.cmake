@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_qoe_ratio.dir/bench/bench_fig2_qoe_ratio.cpp.o"
+  "CMakeFiles/bench_fig2_qoe_ratio.dir/bench/bench_fig2_qoe_ratio.cpp.o.d"
+  "bench/bench_fig2_qoe_ratio"
+  "bench/bench_fig2_qoe_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_qoe_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

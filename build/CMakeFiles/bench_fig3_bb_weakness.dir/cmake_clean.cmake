@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_bb_weakness.dir/bench/bench_fig3_bb_weakness.cpp.o"
+  "CMakeFiles/bench_fig3_bb_weakness.dir/bench/bench_fig3_bb_weakness.cpp.o.d"
+  "bench/bench_fig3_bb_weakness"
+  "bench/bench_fig3_bb_weakness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_bb_weakness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

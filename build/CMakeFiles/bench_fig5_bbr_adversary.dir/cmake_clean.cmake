@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_bbr_adversary.dir/bench/bench_fig5_bbr_adversary.cpp.o"
+  "CMakeFiles/bench_fig5_bbr_adversary.dir/bench/bench_fig5_bbr_adversary.cpp.o.d"
+  "bench/bench_fig5_bbr_adversary"
+  "bench/bench_fig5_bbr_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_bbr_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

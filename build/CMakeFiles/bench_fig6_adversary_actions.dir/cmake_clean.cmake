@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_adversary_actions.dir/bench/bench_fig6_adversary_actions.cpp.o"
+  "CMakeFiles/bench_fig6_adversary_actions.dir/bench/bench_fig6_adversary_actions.cpp.o.d"
+  "bench/bench_fig6_adversary_actions"
+  "bench/bench_fig6_adversary_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_adversary_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

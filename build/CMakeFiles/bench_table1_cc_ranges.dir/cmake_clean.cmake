@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_cc_ranges.dir/bench/bench_table1_cc_ranges.cpp.o"
+  "CMakeFiles/bench_table1_cc_ranges.dir/bench/bench_table1_cc_ranges.cpp.o.d"
+  "bench/bench_table1_cc_ranges"
+  "bench/bench_table1_cc_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_cc_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

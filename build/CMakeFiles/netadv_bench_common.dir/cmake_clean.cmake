@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_bench_common.dir/bench/common/bench_common.cpp.o"
+  "CMakeFiles/netadv_bench_common.dir/bench/common/bench_common.cpp.o.d"
+  "libnetadv_bench_common.a"
+  "libnetadv_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

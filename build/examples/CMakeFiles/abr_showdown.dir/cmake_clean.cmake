@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_showdown.dir/abr_showdown.cpp.o"
+  "CMakeFiles/abr_showdown.dir/abr_showdown.cpp.o.d"
+  "abr_showdown"
+  "abr_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

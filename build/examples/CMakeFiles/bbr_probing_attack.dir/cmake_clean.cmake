@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbr_probing_attack.dir/bbr_probing_attack.cpp.o"
+  "CMakeFiles/bbr_probing_attack.dir/bbr_probing_attack.cpp.o.d"
+  "bbr_probing_attack"
+  "bbr_probing_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbr_probing_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_cli.dir/netadv_cli.cpp.o"
+  "CMakeFiles/netadv_cli.dir/netadv_cli.cpp.o.d"
+  "netadv_cli"
+  "netadv_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_pensieve.dir/robust_pensieve.cpp.o"
+  "CMakeFiles/robust_pensieve.dir/robust_pensieve.cpp.o.d"
+  "robust_pensieve"
+  "robust_pensieve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_pensieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

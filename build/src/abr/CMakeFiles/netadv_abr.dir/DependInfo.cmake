@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/bb.cpp" "src/abr/CMakeFiles/netadv_abr.dir/bb.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/bb.cpp.o.d"
+  "/root/repo/src/abr/bola.cpp" "src/abr/CMakeFiles/netadv_abr.dir/bola.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/bola.cpp.o.d"
+  "/root/repo/src/abr/mpc.cpp" "src/abr/CMakeFiles/netadv_abr.dir/mpc.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/mpc.cpp.o.d"
+  "/root/repo/src/abr/optimal.cpp" "src/abr/CMakeFiles/netadv_abr.dir/optimal.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/optimal.cpp.o.d"
+  "/root/repo/src/abr/pensieve.cpp" "src/abr/CMakeFiles/netadv_abr.dir/pensieve.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/pensieve.cpp.o.d"
+  "/root/repo/src/abr/protocol.cpp" "src/abr/CMakeFiles/netadv_abr.dir/protocol.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/protocol.cpp.o.d"
+  "/root/repo/src/abr/qoe.cpp" "src/abr/CMakeFiles/netadv_abr.dir/qoe.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/qoe.cpp.o.d"
+  "/root/repo/src/abr/runner.cpp" "src/abr/CMakeFiles/netadv_abr.dir/runner.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/runner.cpp.o.d"
+  "/root/repo/src/abr/sim.cpp" "src/abr/CMakeFiles/netadv_abr.dir/sim.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/sim.cpp.o.d"
+  "/root/repo/src/abr/throughput_rule.cpp" "src/abr/CMakeFiles/netadv_abr.dir/throughput_rule.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/throughput_rule.cpp.o.d"
+  "/root/repo/src/abr/video.cpp" "src/abr/CMakeFiles/netadv_abr.dir/video.cpp.o" "gcc" "src/abr/CMakeFiles/netadv_abr.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netadv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/netadv_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/netadv_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_abr.dir/bb.cpp.o"
+  "CMakeFiles/netadv_abr.dir/bb.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/bola.cpp.o"
+  "CMakeFiles/netadv_abr.dir/bola.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/mpc.cpp.o"
+  "CMakeFiles/netadv_abr.dir/mpc.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/optimal.cpp.o"
+  "CMakeFiles/netadv_abr.dir/optimal.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/pensieve.cpp.o"
+  "CMakeFiles/netadv_abr.dir/pensieve.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/protocol.cpp.o"
+  "CMakeFiles/netadv_abr.dir/protocol.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/qoe.cpp.o"
+  "CMakeFiles/netadv_abr.dir/qoe.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/runner.cpp.o"
+  "CMakeFiles/netadv_abr.dir/runner.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/sim.cpp.o"
+  "CMakeFiles/netadv_abr.dir/sim.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/throughput_rule.cpp.o"
+  "CMakeFiles/netadv_abr.dir/throughput_rule.cpp.o.d"
+  "CMakeFiles/netadv_abr.dir/video.cpp.o"
+  "CMakeFiles/netadv_abr.dir/video.cpp.o.d"
+  "libnetadv_abr.a"
+  "libnetadv_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

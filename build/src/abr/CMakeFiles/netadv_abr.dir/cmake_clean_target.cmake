@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnetadv_abr.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for netadv_abr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/bbr.cpp" "src/cc/CMakeFiles/netadv_cc.dir/bbr.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/bbr.cpp.o.d"
+  "/root/repo/src/cc/copa.cpp" "src/cc/CMakeFiles/netadv_cc.dir/copa.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/copa.cpp.o.d"
+  "/root/repo/src/cc/cubic.cpp" "src/cc/CMakeFiles/netadv_cc.dir/cubic.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/cubic.cpp.o.d"
+  "/root/repo/src/cc/link.cpp" "src/cc/CMakeFiles/netadv_cc.dir/link.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/link.cpp.o.d"
+  "/root/repo/src/cc/multiflow.cpp" "src/cc/CMakeFiles/netadv_cc.dir/multiflow.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/multiflow.cpp.o.d"
+  "/root/repo/src/cc/runner.cpp" "src/cc/CMakeFiles/netadv_cc.dir/runner.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/runner.cpp.o.d"
+  "/root/repo/src/cc/vivace.cpp" "src/cc/CMakeFiles/netadv_cc.dir/vivace.cpp.o" "gcc" "src/cc/CMakeFiles/netadv_cc.dir/vivace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netadv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_cc.dir/bbr.cpp.o"
+  "CMakeFiles/netadv_cc.dir/bbr.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/copa.cpp.o"
+  "CMakeFiles/netadv_cc.dir/copa.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/cubic.cpp.o"
+  "CMakeFiles/netadv_cc.dir/cubic.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/link.cpp.o"
+  "CMakeFiles/netadv_cc.dir/link.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/multiflow.cpp.o"
+  "CMakeFiles/netadv_cc.dir/multiflow.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/runner.cpp.o"
+  "CMakeFiles/netadv_cc.dir/runner.cpp.o.d"
+  "CMakeFiles/netadv_cc.dir/vivace.cpp.o"
+  "CMakeFiles/netadv_cc.dir/vivace.cpp.o.d"
+  "libnetadv_cc.a"
+  "libnetadv_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abr_adversary.cpp" "src/core/CMakeFiles/netadv_core.dir/abr_adversary.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/abr_adversary.cpp.o.d"
+  "/root/repo/src/core/cc_adversary.cpp" "src/core/CMakeFiles/netadv_core.dir/cc_adversary.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/cc_adversary.cpp.o.d"
+  "/root/repo/src/core/cem_adversary.cpp" "src/core/CMakeFiles/netadv_core.dir/cem_adversary.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/cem_adversary.cpp.o.d"
+  "/root/repo/src/core/fairness_adversary.cpp" "src/core/CMakeFiles/netadv_core.dir/fairness_adversary.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/fairness_adversary.cpp.o.d"
+  "/root/repo/src/core/recorder.cpp" "src/core/CMakeFiles/netadv_core.dir/recorder.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/recorder.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/netadv_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/netadv_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netadv_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/netadv_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/netadv_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/abr/CMakeFiles/netadv_abr.dir/DependInfo.cmake"
+  "/root/repo/build/src/cc/CMakeFiles/netadv_cc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_core.dir/abr_adversary.cpp.o"
+  "CMakeFiles/netadv_core.dir/abr_adversary.cpp.o.d"
+  "CMakeFiles/netadv_core.dir/cc_adversary.cpp.o"
+  "CMakeFiles/netadv_core.dir/cc_adversary.cpp.o.d"
+  "CMakeFiles/netadv_core.dir/cem_adversary.cpp.o"
+  "CMakeFiles/netadv_core.dir/cem_adversary.cpp.o.d"
+  "CMakeFiles/netadv_core.dir/fairness_adversary.cpp.o"
+  "CMakeFiles/netadv_core.dir/fairness_adversary.cpp.o.d"
+  "CMakeFiles/netadv_core.dir/recorder.cpp.o"
+  "CMakeFiles/netadv_core.dir/recorder.cpp.o.d"
+  "CMakeFiles/netadv_core.dir/trainer.cpp.o"
+  "CMakeFiles/netadv_core.dir/trainer.cpp.o.d"
+  "libnetadv_core.a"
+  "libnetadv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/a2c.cpp" "src/rl/CMakeFiles/netadv_rl.dir/a2c.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/a2c.cpp.o.d"
+  "/root/repo/src/rl/adam.cpp" "src/rl/CMakeFiles/netadv_rl.dir/adam.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/adam.cpp.o.d"
+  "/root/repo/src/rl/agent.cpp" "src/rl/CMakeFiles/netadv_rl.dir/agent.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/agent.cpp.o.d"
+  "/root/repo/src/rl/checkpoint.cpp" "src/rl/CMakeFiles/netadv_rl.dir/checkpoint.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/rl/distributions.cpp" "src/rl/CMakeFiles/netadv_rl.dir/distributions.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/distributions.cpp.o.d"
+  "/root/repo/src/rl/matrix.cpp" "src/rl/CMakeFiles/netadv_rl.dir/matrix.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/matrix.cpp.o.d"
+  "/root/repo/src/rl/mlp.cpp" "src/rl/CMakeFiles/netadv_rl.dir/mlp.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/mlp.cpp.o.d"
+  "/root/repo/src/rl/normalizer.cpp" "src/rl/CMakeFiles/netadv_rl.dir/normalizer.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/normalizer.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/netadv_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/rl/rollout.cpp" "src/rl/CMakeFiles/netadv_rl.dir/rollout.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/rollout.cpp.o.d"
+  "/root/repo/src/rl/toy_envs.cpp" "src/rl/CMakeFiles/netadv_rl.dir/toy_envs.cpp.o" "gcc" "src/rl/CMakeFiles/netadv_rl.dir/toy_envs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/netadv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

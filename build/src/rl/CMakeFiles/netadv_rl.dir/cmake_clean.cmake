@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_rl.dir/a2c.cpp.o"
+  "CMakeFiles/netadv_rl.dir/a2c.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/adam.cpp.o"
+  "CMakeFiles/netadv_rl.dir/adam.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/agent.cpp.o"
+  "CMakeFiles/netadv_rl.dir/agent.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/checkpoint.cpp.o"
+  "CMakeFiles/netadv_rl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/distributions.cpp.o"
+  "CMakeFiles/netadv_rl.dir/distributions.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/matrix.cpp.o"
+  "CMakeFiles/netadv_rl.dir/matrix.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/mlp.cpp.o"
+  "CMakeFiles/netadv_rl.dir/mlp.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/normalizer.cpp.o"
+  "CMakeFiles/netadv_rl.dir/normalizer.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/ppo.cpp.o"
+  "CMakeFiles/netadv_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/rollout.cpp.o"
+  "CMakeFiles/netadv_rl.dir/rollout.cpp.o.d"
+  "CMakeFiles/netadv_rl.dir/toy_envs.cpp.o"
+  "CMakeFiles/netadv_rl.dir/toy_envs.cpp.o.d"
+  "libnetadv_rl.a"
+  "libnetadv_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_trace.dir/generators.cpp.o"
+  "CMakeFiles/netadv_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/netadv_trace.dir/mahimahi.cpp.o"
+  "CMakeFiles/netadv_trace.dir/mahimahi.cpp.o.d"
+  "CMakeFiles/netadv_trace.dir/trace.cpp.o"
+  "CMakeFiles/netadv_trace.dir/trace.cpp.o.d"
+  "libnetadv_trace.a"
+  "libnetadv_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

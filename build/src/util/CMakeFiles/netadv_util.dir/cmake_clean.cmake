@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netadv_util.dir/config.cpp.o"
+  "CMakeFiles/netadv_util.dir/config.cpp.o.d"
+  "CMakeFiles/netadv_util.dir/csv.cpp.o"
+  "CMakeFiles/netadv_util.dir/csv.cpp.o.d"
+  "CMakeFiles/netadv_util.dir/log.cpp.o"
+  "CMakeFiles/netadv_util.dir/log.cpp.o.d"
+  "CMakeFiles/netadv_util.dir/rng.cpp.o"
+  "CMakeFiles/netadv_util.dir/rng.cpp.o.d"
+  "CMakeFiles/netadv_util.dir/stats.cpp.o"
+  "CMakeFiles/netadv_util.dir/stats.cpp.o.d"
+  "libnetadv_util.a"
+  "libnetadv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netadv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

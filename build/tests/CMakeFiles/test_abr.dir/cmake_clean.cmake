@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr.dir/test_abr.cpp.o"
+  "CMakeFiles/test_abr.dir/test_abr.cpp.o.d"
+  "test_abr"
+  "test_abr.pdb"
+  "test_abr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

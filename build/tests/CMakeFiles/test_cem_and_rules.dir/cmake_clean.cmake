@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cem_and_rules.dir/test_cem_and_rules.cpp.o"
+  "CMakeFiles/test_cem_and_rules.dir/test_cem_and_rules.cpp.o.d"
+  "test_cem_and_rules"
+  "test_cem_and_rules.pdb"
+  "test_cem_and_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cem_and_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

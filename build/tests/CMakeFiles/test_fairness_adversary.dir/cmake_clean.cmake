@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fairness_adversary.dir/test_fairness_adversary.cpp.o"
+  "CMakeFiles/test_fairness_adversary.dir/test_fairness_adversary.cpp.o.d"
+  "test_fairness_adversary"
+  "test_fairness_adversary.pdb"
+  "test_fairness_adversary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fairness_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

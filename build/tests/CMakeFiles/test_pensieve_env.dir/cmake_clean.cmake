@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pensieve_env.dir/test_pensieve_env.cpp.o"
+  "CMakeFiles/test_pensieve_env.dir/test_pensieve_env.cpp.o.d"
+  "test_pensieve_env"
+  "test_pensieve_env.pdb"
+  "test_pensieve_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pensieve_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

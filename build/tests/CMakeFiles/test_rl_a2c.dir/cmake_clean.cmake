@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_a2c.dir/test_rl_a2c.cpp.o"
+  "CMakeFiles/test_rl_a2c.dir/test_rl_a2c.cpp.o.d"
+  "test_rl_a2c"
+  "test_rl_a2c.pdb"
+  "test_rl_a2c[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_a2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

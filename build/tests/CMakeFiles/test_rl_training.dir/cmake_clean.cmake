@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rl_training.dir/test_rl_training.cpp.o"
+  "CMakeFiles/test_rl_training.dir/test_rl_training.cpp.o.d"
+  "test_rl_training"
+  "test_rl_training.pdb"
+  "test_rl_training[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rl_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

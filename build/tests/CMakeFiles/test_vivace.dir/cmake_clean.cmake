@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vivace.dir/test_vivace.cpp.o"
+  "CMakeFiles/test_vivace.dir/test_vivace.cpp.o.d"
+  "test_vivace"
+  "test_vivace.pdb"
+  "test_vivace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vivace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_rl_math[1]_include.cmake")
+include("/root/repo/build/tests/test_rl_training[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_abr[1]_include.cmake")
+include("/root/repo/build/tests/test_cc[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_rl_a2c[1]_include.cmake")
+include("/root/repo/build/tests/test_cem_and_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_pensieve_env[1]_include.cmake")
+include("/root/repo/build/tests/test_vivace[1]_include.cmake")
+include("/root/repo/build/tests/test_multiflow[1]_include.cmake")
+include("/root/repo/build/tests/test_misc[1]_include.cmake")
+include("/root/repo/build/tests/test_fairness_adversary[1]_include.cmake")
