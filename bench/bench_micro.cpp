@@ -2,7 +2,20 @@
 // simulator, the streaming simulator, the ABR controllers, the offline
 // optimum, PPO inference/updates, and one adversary-environment step. These
 // quantify why paper-scale training budgets (600k steps) run in seconds.
+//
+// After the google-benchmark suites, main() measures the parallel execution
+// layer directly — trace-replay and VecEnv rollout throughput at 1/2/N
+// threads — and drops the numbers as bench_out/BENCH_parallel.json so the
+// perf trajectory of the threading work is tracked across PRs.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "abr/bb.hpp"
 #include "abr/mpc.hpp"
@@ -14,8 +27,11 @@
 #include "core/cc_adversary.hpp"
 #include "core/trainer.hpp"
 #include "rl/toy_envs.hpp"
+#include "rl/vec_env.hpp"
 #include "trace/generators.hpp"
+#include "util/config.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -159,6 +175,225 @@ void BM_CcAdversaryEnvStep(benchmark::State& state) {
 }
 BENCHMARK(BM_CcAdversaryEnvStep)->Unit(benchmark::kMicrosecond);
 
+void BM_PolicyInferenceBatch(benchmark::State& state) {
+  // Batched deterministic inference over N observations through the gemm
+  // path; compare against N x BM_PolicyInference for the amortization win.
+  abr::VideoManifest m;
+  abr::BufferBased bb;
+  core::AbrAdversaryEnv env{m, bb};
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                     core::abr_adversary_ppo_config(), 4};
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::vector<rl::Vec> obs(batch, rl::Vec(env.observation_size(), 0.5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act_deterministic_batch(obs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_PolicyInferenceBatch)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_ParallelAbrReplay(benchmark::State& state) {
+  // Figure-1 style corpus replay (MPC over 32 traces) across a pool of
+  // state.range(0) threads.
+  const abr::VideoManifest m;
+  trace::UniformRandomGenerator gen{{}};
+  util::Rng rng{11};
+  const auto traces = gen.generate_many(32, rng);
+  util::ThreadPool pool{static_cast<std::size_t>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abr::qoe_per_trace(
+        []() -> std::unique_ptr<abr::AbrProtocol> {
+          return std::make_unique<abr::RobustMpc>();
+        },
+        m, traces, {}, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(traces.size()));
+}
+BENCHMARK(BM_ParallelAbrReplay)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(util::ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VecEnvRollout(benchmark::State& state) {
+  // 8 ABR-adversary replicas stepped as a batch across state.range(0)
+  // threads — the PPO experience-collection hot loop.
+  util::ThreadPool pool{static_cast<std::size_t>(state.range(0))};
+  struct ReplicaEnv final : rl::Env {
+    abr::VideoManifest manifest;
+    abr::BufferBased bb;
+    core::AbrAdversaryEnv env{manifest, bb};
+    std::string name() const override { return env.name(); }
+    std::size_t observation_size() const override {
+      return env.observation_size();
+    }
+    rl::ActionSpec action_spec() const override { return env.action_spec(); }
+    rl::Vec reset(util::Rng& rng) override { return env.reset(rng); }
+    rl::StepResult step(const rl::Vec& action, util::Rng& rng) override {
+      return env.step(action, rng);
+    }
+  };
+  rl::VecEnv venv{[](std::size_t) { return std::make_unique<ReplicaEnv>(); },
+                  /*n=*/8, /*seed=*/21, &pool};
+  venv.reset_all();
+  const std::vector<rl::Vec> actions(venv.size(), rl::Vec{0.1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(venv.step(actions));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(venv.size()));
+}
+BENCHMARK(BM_VecEnvRollout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<int>(util::ThreadPool::default_thread_count()))
+    ->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// BENCH_parallel.json: the perf-trajectory artifact for the threading layer.
+
+struct ThreadSample {
+  std::size_t threads = 0;
+  double seconds = 0.0;
+  double items_per_s = 0.0;
+};
+
+template <typename Fn>
+double time_seconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+void write_parallel_artifact() {
+  const std::size_t hw = util::ThreadPool::default_thread_count();
+  std::vector<std::size_t> thread_counts{1, 2};
+  if (hw > 2) thread_counts.push_back(hw);
+
+  // --- replay: MPC over a 64-trace corpus (the Figure-1/2 shape). ---
+  const abr::VideoManifest manifest;
+  trace::UniformRandomGenerator gen{{}};
+  util::Rng rng{2019};
+  const auto traces = gen.generate_many(64, rng);
+  const auto mpc_factory = []() -> std::unique_ptr<abr::AbrProtocol> {
+    return std::make_unique<abr::RobustMpc>();
+  };
+
+  std::vector<ThreadSample> replay_samples;
+  std::vector<double> reference_qoe;
+  bool replay_identical = true;
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool pool{threads};
+    std::vector<double> qoe;
+    // Warm once (page in code/data), then time one full corpus replay.
+    qoe = abr::qoe_per_trace(mpc_factory, manifest, traces, {}, &pool);
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds = time_seconds([&] {
+      qoe = abr::qoe_per_trace(mpc_factory, manifest, traces, {}, &pool);
+    });
+    sample.items_per_s = static_cast<double>(traces.size()) / sample.seconds;
+    replay_samples.push_back(sample);
+    if (reference_qoe.empty()) {
+      reference_qoe = qoe;
+    } else if (qoe != reference_qoe) {
+      replay_identical = false;
+    }
+  }
+
+  // --- rollout: 8 ABR-adversary replicas stepped for a fixed step budget. ---
+  struct ReplicaEnv final : rl::Env {
+    abr::VideoManifest manifest;
+    abr::BufferBased bb;
+    core::AbrAdversaryEnv env{manifest, bb};
+    std::string name() const override { return env.name(); }
+    std::size_t observation_size() const override {
+      return env.observation_size();
+    }
+    rl::ActionSpec action_spec() const override { return env.action_spec(); }
+    rl::Vec reset(util::Rng& rng) override { return env.reset(rng); }
+    rl::StepResult step(const rl::Vec& action, util::Rng& rng) override {
+      return env.step(action, rng);
+    }
+  };
+  const std::size_t rollout_batches = 400;
+  std::vector<ThreadSample> rollout_samples;
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool pool{threads};
+    rl::VecEnv venv{[](std::size_t) { return std::make_unique<ReplicaEnv>(); },
+                    /*n=*/8, /*seed=*/21, &pool};
+    venv.reset_all();
+    const std::vector<rl::Vec> actions(venv.size(), rl::Vec{0.1});
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds = time_seconds([&] {
+      for (std::size_t b = 0; b < rollout_batches; ++b) venv.step(actions);
+    });
+    sample.items_per_s =
+        static_cast<double>(rollout_batches * venv.size()) / sample.seconds;
+    rollout_samples.push_back(sample);
+  }
+
+  const auto speedup = [](const std::vector<ThreadSample>& samples) {
+    double best = 0.0;
+    for (const auto& s : samples) {
+      best = std::max(best, s.items_per_s / samples.front().items_per_s);
+    }
+    return best;
+  };
+
+  const std::string path = util::bench_output_dir() + "/BENCH_parallel.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    util::log_error("BENCH_parallel: cannot open %s", path.c_str());
+    return;
+  }
+  const auto write_samples = [&](const char* key,
+                                 const std::vector<ThreadSample>& samples,
+                                 const char* items_name) {
+    std::fprintf(f, "  \"%s\": [\n", key);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"seconds\": %.6f, "
+                   "\"%s\": %.2f}%s\n",
+                   samples[i].threads, samples[i].seconds, items_name,
+                   samples[i].items_per_s, i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  };
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"generated_by\": \"bench_micro\",\n");
+  std::fprintf(f, "  \"hardware_threads\": %zu,\n", hw);
+  std::fprintf(f, "  \"replay_traces\": %zu,\n", traces.size());
+  std::fprintf(f, "  \"replay_protocol\": \"mpc\",\n");
+  std::fprintf(f, "  \"replay_results_identical\": %s,\n",
+               replay_identical ? "true" : "false");
+  write_samples("replay", replay_samples, "traces_per_s");
+  std::fprintf(f, "  \"rollout_envs\": 8,\n");
+  std::fprintf(f, "  \"rollout_batches\": %zu,\n", rollout_batches);
+  write_samples("rollout", rollout_samples, "steps_per_s");
+  std::fprintf(f, "  \"replay_speedup_vs_1_thread\": %.3f,\n",
+               speedup(replay_samples));
+  std::fprintf(f, "  \"rollout_speedup_vs_1_thread\": %.3f\n",
+               speedup(rollout_samples));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  util::log_info("BENCH_parallel: wrote %s (replay speedup %.2fx, "
+                 "rollout speedup %.2fx at %zu threads)",
+                 path.c_str(), speedup(replay_samples),
+                 speedup(rollout_samples), hw);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_parallel_artifact();
+  return 0;
+}

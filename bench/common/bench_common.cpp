@@ -12,8 +12,33 @@
 #include "trace/generators.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::bench {
+
+namespace {
+
+/// AbrProtocol adapter that owns a private copy of a trained Pensieve agent,
+/// so parallel replay workers never share the source agent's forward caches.
+class OwnedPensievePolicy final : public abr::AbrProtocol {
+ public:
+  explicit OwnedPensievePolicy(const rl::PpoAgent& agent)
+      : agent_(agent), policy_(agent_) {}
+
+  std::string name() const override { return policy_.name(); }
+  void begin_video(const abr::VideoManifest& manifest) override {
+    policy_.begin_video(manifest);
+  }
+  std::size_t choose_quality(const abr::AbrObservation& observation) override {
+    return policy_.choose_quality(observation);
+  }
+
+ private:
+  rl::PpoAgent agent_;
+  abr::PensievePolicy policy_;
+};
+
+}  // namespace
 
 void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths) {
@@ -100,7 +125,6 @@ Fig1Artifacts build_fig1_artifacts(std::uint64_t seed) {
 
   abr::PensievePolicy pensieve_policy{*art.pensieve};
   abr::RobustMpc mpc;
-  abr::BufferBased bb;
 
   util::log_info("fig1: training adversary vs MPC (%zu steps)", adversary_steps);
   core::AbrAdversaryEnv env_mpc{m, mpc};
@@ -122,15 +146,31 @@ Fig1Artifacts build_fig1_artifacts(std::uint64_t seed) {
       core::record_abr_traces(adv_pen, env_pen, traces_per_set, record_rng);
   art.traces_random = uni.generate_many(traces_per_set, record_rng);
 
+  // Replays are independent per trace, so they fan out across the shared
+  // pool; protocol factories hand each worker a private instance and results
+  // come back in trace order (byte-identical at any NETADV_THREADS).
+  util::ThreadPool& pool = util::ThreadPool::global();
   auto eval_set = [&](const std::vector<trace::Trace>& traces) {
     std::vector<std::vector<double>> qoe;
-    qoe.push_back(abr::qoe_per_trace(pensieve_policy, m, traces));
-    qoe.push_back(abr::qoe_per_trace(mpc, m, traces));
-    qoe.push_back(abr::qoe_per_trace(bb, m, traces));
+    qoe.push_back(abr::qoe_per_trace(
+        [&]() -> std::unique_ptr<abr::AbrProtocol> {
+          return std::make_unique<OwnedPensievePolicy>(*art.pensieve);
+        },
+        m, traces, {}, &pool));
+    qoe.push_back(abr::qoe_per_trace(
+        []() -> std::unique_ptr<abr::AbrProtocol> {
+          return std::make_unique<abr::RobustMpc>();
+        },
+        m, traces, {}, &pool));
+    qoe.push_back(abr::qoe_per_trace(
+        []() -> std::unique_ptr<abr::AbrProtocol> {
+          return std::make_unique<abr::BufferBased>();
+        },
+        m, traces, {}, &pool));
     return qoe;
   };
-  util::log_info("fig1: evaluating 3 protocols on 3 x %zu traces",
-                 traces_per_set);
+  util::log_info("fig1: evaluating 3 protocols on 3 x %zu traces (%zu threads)",
+                 traces_per_set, pool.thread_count());
   art.qoe_on_mpc_traces = eval_set(art.traces_vs_mpc);
   art.qoe_on_pensieve_traces = eval_set(art.traces_vs_pensieve);
   art.qoe_on_random_traces = eval_set(art.traces_random);

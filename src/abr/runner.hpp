@@ -4,6 +4,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "abr/protocol.hpp"
@@ -11,6 +13,7 @@
 #include "abr/sim.hpp"
 #include "abr/video.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::abr {
 
@@ -41,5 +44,22 @@ std::vector<double> qoe_per_trace(AbrProtocol& protocol,
                                   const VideoManifest& manifest,
                                   const std::vector<trace::Trace>& traces,
                                   const QoeParams& qoe = {});
+
+/// Builds a fresh protocol instance per replay task. Must be callable from
+/// several threads at once (it only ever constructs new objects), which is
+/// what lets each trace replay on its own core without sharing protocol
+/// state.
+using ProtocolFactory = std::function<std::unique_ptr<AbrProtocol>()>;
+
+/// Parallel qoe_per_trace: replays the traces across `pool` (sequentially
+/// when pool is null), one private protocol instance per trace. Results are
+/// reduced in trace order, so the output equals the sequential overload for
+/// any protocol whose begin_video() fully resets it — and is identical at
+/// every thread count.
+std::vector<double> qoe_per_trace(const ProtocolFactory& make_protocol,
+                                  const VideoManifest& manifest,
+                                  const std::vector<trace::Trace>& traces,
+                                  const QoeParams& qoe = {},
+                                  util::ThreadPool* pool = nullptr);
 
 }  // namespace netadv::abr

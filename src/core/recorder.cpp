@@ -143,4 +143,29 @@ CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,
   return result;
 }
 
+std::vector<CcReplayResult> replay_cc_traces(
+    const SenderFactory& make_sender, const std::vector<trace::Trace>& traces,
+    const cc::LinkSim::Params& link_params, std::uint64_t seed,
+    util::ThreadPool* pool) {
+  // Fork one link seed per trace up front (on the caller) so the replay of
+  // trace i is the same whichever thread picks it up.
+  util::Rng master{seed};
+  std::vector<std::uint64_t> seeds(traces.size());
+  for (auto& s : seeds) s = master();
+
+  auto replay_one = [&](std::size_t i) {
+    const std::unique_ptr<cc::CcSender> sender = make_sender();
+    if (!sender) {
+      throw std::invalid_argument{"replay_cc_traces: factory returned null"};
+    }
+    return replay_cc_trace(*sender, traces[i], link_params, seeds[i]);
+  };
+  if (pool == nullptr) {
+    std::vector<CcReplayResult> results(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) results[i] = replay_one(i);
+    return results;
+  }
+  return pool->parallel_map(traces.size(), replay_one);
+}
+
 }  // namespace netadv::core

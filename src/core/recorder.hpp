@@ -7,12 +7,15 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
 #include "rl/ppo.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::core {
 
@@ -76,5 +79,18 @@ struct CcReplayResult {
 CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,
                                const cc::LinkSim::Params& link_params,
                                std::uint64_t seed);
+
+/// Builds a fresh sender per replay task; must be thread-safe to call (it
+/// only constructs new objects).
+using SenderFactory = std::function<std::unique_ptr<cc::CcSender>()>;
+
+/// Replay a whole trace corpus across `pool` (sequentially when null), one
+/// fresh sender per trace. Per-trace link seeds are forked from `seed` in
+/// trace order before dispatch, so the result vector is identical at every
+/// thread count.
+std::vector<CcReplayResult> replay_cc_traces(
+    const SenderFactory& make_sender, const std::vector<trace::Trace>& traces,
+    const cc::LinkSim::Params& link_params, std::uint64_t seed,
+    util::ThreadPool* pool = nullptr);
 
 }  // namespace netadv::core

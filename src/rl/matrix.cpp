@@ -20,6 +20,25 @@ void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
   }
 }
 
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == batch * cols);
+  assert(b.size() == rows);
+  assert(y.size() == batch * rows);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* xn = x.data() + n * cols;
+    double* yn = y.data() + n * rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      double acc = b[r];
+      const double* row = w.data() + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) acc += row[c] * xn[c];
+      yn[r] = acc;
+    }
+  }
+}
+
 void gemv_transposed(std::span<const double> w, std::size_t rows,
                      std::size_t cols, std::span<const double> g,
                      std::span<double> y) {

@@ -54,6 +54,16 @@ void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::span<const double> b,
           std::span<double> y);
 
+/// Batched forward: Y = X W^T + 1 b^T, with X a (batch x cols) row-major
+/// block and Y (batch x rows). Each output row uses exactly the gemv
+/// accumulation order, so batched inference over N observations is
+/// bit-identical to N gemv calls — the property the VecEnv determinism
+/// guarantee rests on — while amortizing per-call overhead and reusing W
+/// across the batch.
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y);
+
 /// y = W^T g — propagates a gradient through a linear layer.
 void gemv_transposed(std::span<const double> w, std::size_t rows,
                      std::size_t cols, std::span<const double> g,

@@ -1,5 +1,6 @@
 #include "rl/mlp.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -91,6 +92,39 @@ const Vec& Mlp::forward(const Vec& input) {
   }
   forward_done_ = true;
   return post_.back();
+}
+
+std::vector<Vec> Mlp::forward_batch(const std::vector<Vec>& inputs) const {
+  const std::size_t batch = inputs.size();
+  Vec current(batch * input_size());
+  for (std::size_t n = 0; n < batch; ++n) {
+    if (inputs[n].size() != input_size()) {
+      throw std::invalid_argument{"Mlp::forward_batch: wrong input size"};
+    }
+    std::copy(inputs[n].begin(), inputs[n].end(),
+              current.begin() + static_cast<std::ptrdiff_t>(n * input_size()));
+  }
+
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const Layer& l = layers_[i];
+    Vec next(batch * l.out);
+    gemm(weight(l), l.out, l.in, current, batch,
+         {params_.data() + l.b_offset, l.out}, next);
+    const bool last = (i + 1 == layers_.size());
+    const Activation act = last ? Activation::kIdentity : hidden_;
+    if (act != Activation::kIdentity) {
+      for (auto& z : next) z = activate(act, z);
+    }
+    current = std::move(next);
+  }
+
+  std::vector<Vec> outputs(batch);
+  for (std::size_t n = 0; n < batch; ++n) {
+    outputs[n].assign(
+        current.begin() + static_cast<std::ptrdiff_t>(n * output_size()),
+        current.begin() + static_cast<std::ptrdiff_t>((n + 1) * output_size()));
+  }
+  return outputs;
 }
 
 Vec Mlp::backward(const Vec& grad_output) {

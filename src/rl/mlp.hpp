@@ -35,6 +35,13 @@ class Mlp {
   /// Forward pass; the returned reference is valid until the next forward().
   const Vec& forward(const Vec& input);
 
+  /// Inference-only batched forward over N inputs via the gemm kernel.
+  /// Bit-identical to calling forward() per input (same accumulation order),
+  /// but does not touch the activation caches, so it is const, safe to call
+  /// between forward()/backward() pairs, and safe from several threads on
+  /// the same network at once.
+  std::vector<Vec> forward_batch(const std::vector<Vec>& inputs) const;
+
   /// Backpropagate `grad_output` (dLoss/dOutput for the *last* forward()),
   /// accumulating parameter gradients; returns dLoss/dInput.
   Vec backward(const Vec& grad_output);

@@ -29,6 +29,27 @@ std::vector<std::size_t> make_critic_sizes(std::size_t obs,
   return sizes;
 }
 
+/// Fill the episode-statistics tail of a TrainReport.
+void finalize_report(TrainReport& report, std::size_t steps_done,
+                     const std::vector<double>& episode_rewards) {
+  report.steps = steps_done;
+  report.episodes = episode_rewards.size();
+  if (!episode_rewards.empty()) {
+    double sum = 0.0;
+    for (double r : episode_rewards) sum += r;
+    report.mean_episode_reward =
+        sum / static_cast<double>(episode_rewards.size());
+    const std::size_t tail =
+        std::max<std::size_t>(1, episode_rewards.size() / 10);
+    double tail_sum = 0.0;
+    for (std::size_t i = episode_rewards.size() - tail;
+         i < episode_rewards.size(); ++i) {
+      tail_sum += episode_rewards[i];
+    }
+    report.final_mean_episode_reward = tail_sum / static_cast<double>(tail);
+  }
+}
+
 }  // namespace
 
 PpoAgent::PpoAgent(std::size_t observation_size, ActionSpec action_spec,
@@ -91,6 +112,23 @@ Vec PpoAgent::act_deterministic(const Vec& observation) {
     return {static_cast<double>(Categorical::mode(head))};
   }
   return {head.begin(), head.end()};
+}
+
+std::vector<Vec> PpoAgent::act_deterministic_batch(
+    const std::vector<Vec>& observations) {
+  std::vector<Vec> norm(observations.size());
+  for (std::size_t i = 0; i < observations.size(); ++i) {
+    norm[i] = normalized(observations[i]);
+  }
+  std::vector<Vec> heads = actor_.forward_batch(norm);
+  if (discrete()) {
+    std::vector<Vec> actions(heads.size());
+    for (std::size_t i = 0; i < heads.size(); ++i) {
+      actions[i] = {static_cast<double>(Categorical::mode(heads[i]))};
+    }
+    return actions;
+  }
+  return heads;
 }
 
 double PpoAgent::value_estimate(const Vec& observation) {
@@ -157,16 +195,7 @@ TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
     const double last_value = critic_.forward(normalized(raw_obs))[0];
     buffer.compute_advantages(last_value, config_.gamma, config_.gae_lambda);
 
-    MinibatchStats last_stats;
-    for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
-      const auto indices = buffer.shuffled_indices(rng_);
-      for (std::size_t begin = 0; begin < indices.size();
-           begin += config_.minibatch_size) {
-        const std::size_t end =
-            std::min(begin + config_.minibatch_size, indices.size());
-        last_stats = update_minibatch(buffer, indices, begin, end);
-      }
-    }
+    const MinibatchStats last_stats = run_update_epochs(buffer);
 
     ++update_index;
     report.updates = update_index;
@@ -190,21 +219,153 @@ TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
     }
   }
 
-  report.steps = steps_done;
-  report.episodes = episode_rewards.size();
-  if (!episode_rewards.empty()) {
-    double sum = 0.0;
-    for (double r : episode_rewards) sum += r;
-    report.mean_episode_reward = sum / static_cast<double>(episode_rewards.size());
-    const std::size_t tail =
-        std::max<std::size_t>(1, episode_rewards.size() / 10);
-    double tail_sum = 0.0;
-    for (std::size_t i = episode_rewards.size() - tail; i < episode_rewards.size(); ++i) {
-      tail_sum += episode_rewards[i];
-    }
-    report.final_mean_episode_reward = tail_sum / static_cast<double>(tail);
-  }
+  finalize_report(report, steps_done, episode_rewards);
   return report;
+}
+
+TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
+                            const TrainCallback& callback) {
+  if (venv.observation_size() != obs_size_) {
+    throw std::invalid_argument{"PpoAgent::train: env observation size mismatch"};
+  }
+  const std::size_t n_envs = venv.size();
+  const std::size_t steps_per_env =
+      std::max<std::size_t>(1, config_.n_steps / n_envs);
+  const std::size_t rollout_len = steps_per_env * n_envs;
+  if (config_.minibatch_size > rollout_len) {
+    throw std::invalid_argument{
+        "PpoAgent::train: minibatch larger than vectorized rollout"};
+  }
+
+  TrainReport report;
+  RolloutBuffer buffer{rollout_len};
+
+  // The running-return accumulator inside ReturnNormalizer is a temporal
+  // filter over one reward stream, so each replica gets its own instance.
+  std::vector<ReturnNormalizer> return_norms(
+      n_envs, ReturnNormalizer{config_.gamma});
+
+  std::vector<Vec> raw_obs = venv.reset_all();
+  std::vector<double> episode_reward(n_envs, 0.0);
+  std::vector<double> episode_rewards;
+  std::vector<std::vector<Transition>> trajectories(n_envs);
+  std::vector<Vec> norm_obs(n_envs);
+  std::vector<Vec> actions(n_envs);
+
+  std::size_t steps_done = 0;
+  std::size_t update_index = 0;
+  while (steps_done < total_steps) {
+    buffer.clear();
+    for (auto& traj : trajectories) {
+      traj.clear();
+      traj.reserve(steps_per_env);
+    }
+    std::size_t episodes_this_update = 0;
+    double episode_reward_sum_this_update = 0.0;
+
+    for (std::size_t step = 0; step < steps_per_env; ++step) {
+      // Normalizer statistics fold in replica-index order — a fixed
+      // sequence regardless of how many threads step the replicas.
+      if (config_.normalize_observations) {
+        for (const Vec& obs : raw_obs) obs_normalizer_.update(obs);
+      }
+      for (std::size_t i = 0; i < n_envs; ++i) {
+        norm_obs[i] = normalized(raw_obs[i]);
+      }
+
+      const std::vector<Vec> heads = actor_.forward_batch(norm_obs);
+      const std::vector<Vec> values = critic_.forward_batch(norm_obs);
+
+      for (std::size_t i = 0; i < n_envs; ++i) {
+        Transition t;
+        t.observation = norm_obs[i];
+        if (discrete()) {
+          const std::size_t a = Categorical::sample(heads[i], venv.rng(i));
+          t.action = {static_cast<double>(a)};
+          t.log_prob = Categorical::log_prob(heads[i], a);
+        } else {
+          t.action = DiagGaussian::sample(heads[i], log_std_, venv.rng(i));
+          t.log_prob = DiagGaussian::log_prob(heads[i], log_std_, t.action);
+        }
+        t.value = values[i][0];
+        actions[i] = t.action;
+        trajectories[i].push_back(std::move(t));
+      }
+
+      const VecEnv::StepBatch& result = venv.step(actions);
+      for (std::size_t i = 0; i < n_envs; ++i) {
+        Transition& t = trajectories[i].back();
+        const bool done = result.dones[i] != 0;
+        episode_reward[i] += result.rewards[i];
+        t.reward = config_.normalize_rewards
+                       ? return_norms[i].normalize(result.rewards[i], done)
+                       : result.rewards[i];
+        t.done = done;
+        if (done) {
+          episode_rewards.push_back(episode_reward[i]);
+          episode_reward_sum_this_update += episode_reward[i];
+          ++episodes_this_update;
+          episode_reward[i] = 0.0;
+        }
+        raw_obs[i] = result.observations[i];
+      }
+      steps_done += n_envs;
+    }
+
+    for (std::size_t i = 0; i < n_envs; ++i) {
+      norm_obs[i] = normalized(raw_obs[i]);
+    }
+    const std::vector<Vec> bootstrap = critic_.forward_batch(norm_obs);
+    std::vector<double> last_values(n_envs);
+    for (std::size_t i = 0; i < n_envs; ++i) last_values[i] = bootstrap[i][0];
+
+    for (auto& traj : trajectories) {
+      for (auto& t : traj) buffer.add(std::move(t));
+    }
+    buffer.compute_advantages_segmented(last_values, config_.gamma,
+                                        config_.gae_lambda);
+
+    const MinibatchStats last_stats = run_update_epochs(buffer);
+
+    ++update_index;
+    report.updates = update_index;
+    report.final_policy_loss = last_stats.policy_loss;
+    report.final_value_loss = last_stats.value_loss;
+    report.final_entropy = last_stats.entropy;
+
+    if (callback) {
+      UpdateInfo info;
+      info.update_index = update_index;
+      info.total_steps_done = steps_done;
+      info.mean_episode_reward =
+          episodes_this_update > 0
+              ? episode_reward_sum_this_update /
+                    static_cast<double>(episodes_this_update)
+              : 0.0;
+      info.policy_loss = last_stats.policy_loss;
+      info.value_loss = last_stats.value_loss;
+      info.entropy = last_stats.entropy;
+      callback(info);
+    }
+  }
+
+  finalize_report(report, steps_done, episode_rewards);
+  return report;
+}
+
+PpoAgent::MinibatchStats PpoAgent::run_update_epochs(
+    const RolloutBuffer& buffer) {
+  MinibatchStats last_stats;
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto indices = buffer.shuffled_indices(rng_);
+    for (std::size_t begin = 0; begin < indices.size();
+         begin += config_.minibatch_size) {
+      const std::size_t end =
+          std::min(begin + config_.minibatch_size, indices.size());
+      last_stats = update_minibatch(buffer, indices, begin, end);
+    }
+  }
+  return last_stats;
 }
 
 PpoAgent::MinibatchStats PpoAgent::update_minibatch(

@@ -23,6 +23,7 @@
 #include "rl/mlp.hpp"
 #include "rl/normalizer.hpp"
 #include "rl/rollout.hpp"
+#include "rl/vec_env.hpp"
 #include "util/rng.hpp"
 
 namespace netadv::rl {
@@ -58,6 +59,10 @@ class PpoAgent final : public Agent {
   /// "actions before exploration noise", Figure 6).
   Vec act_deterministic(const Vec& observation) override;
 
+  /// Batched deterministic actions over N observations through the gemm
+  /// forward path; bit-identical to N act_deterministic calls.
+  std::vector<Vec> act_deterministic_batch(const std::vector<Vec>& observations);
+
   /// Critic estimate of the (normalized-reward) value of an observation.
   double value_estimate(const Vec& observation) override;
 
@@ -65,6 +70,15 @@ class PpoAgent final : public Agent {
   /// whole number of rollouts).
   TrainReport train(Env& env, std::size_t total_steps,
                     const TrainCallback& callback = nullptr) override;
+
+  /// Vectorized PPO: each update's rollout is collected from venv.size()
+  /// replicas stepped concurrently (n_steps / size() steps per replica,
+  /// batched policy/critic inference, per-segment GAE). Action sampling and
+  /// every replica's dynamics run on the replica's private RNG stream, so
+  /// the trained parameters depend only on the seed and replica count —
+  /// never on the pool's thread count.
+  TrainReport train(VecEnv& venv, std::size_t total_steps,
+                    const TrainCallback& callback = nullptr);
 
   const PpoConfig& config() const noexcept { return config_; }
   const ActionSpec& action_spec() const noexcept override { return action_spec_; }
@@ -96,6 +110,8 @@ class PpoAgent final : public Agent {
   MinibatchStats update_minibatch(const RolloutBuffer& buffer,
                                   const std::vector<std::size_t>& indices,
                                   std::size_t begin, std::size_t end);
+  /// The shuffled-minibatch epochs shared by both train() entry points.
+  MinibatchStats run_update_epochs(const RolloutBuffer& buffer);
 
   std::size_t obs_size_;
   ActionSpec action_spec_;

@@ -1,6 +1,7 @@
 #include "util/log.hpp"
 
 #include <cstdlib>
+#include <mutex>
 
 namespace netadv::util {
 
@@ -9,6 +10,9 @@ LogLevel g_level = [] {
   if (const char* env = std::getenv("NETADV_LOG")) return parse_log_level(env);
   return LogLevel::kInfo;
 }();
+
+// Serializes sink writes so lines from concurrent workers never interleave.
+std::mutex g_sink_mutex;
 }  // namespace
 
 LogLevel log_level() noexcept { return g_level; }
@@ -25,6 +29,7 @@ LogLevel parse_log_level(const std::string& name) noexcept {
 namespace detail {
 void log_line(LogLevel level, const char* tag, const std::string& message) {
   std::FILE* sink = level >= LogLevel::kWarn ? stderr : stdout;
+  std::lock_guard lock{g_sink_mutex};
   std::fprintf(sink, "[netadv %s] %s\n", tag, message.c_str());
 }
 }  // namespace detail

@@ -1,6 +1,7 @@
 // Tiny leveled logger. Benchmarks and long training loops use it for
 // progress lines; tests run with the level raised to kWarn to stay quiet.
-// Not thread-safe by design — netadv is single-threaded per experiment.
+// Sink writes are serialized by a mutex, so parallel rollout and replay
+// workers (util::ThreadPool) can log without interleaving lines.
 #pragma once
 
 #include <cstdio>

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace netadv::util {
 
@@ -90,6 +91,16 @@ class Rng {
   /// Derive an independent child generator; advancing the child never
   /// perturbs the parent stream.
   Rng fork() noexcept { return Rng{(*this)()}; }
+
+  /// Fork `n` independent child streams in index order. Forking happens
+  /// entirely on the calling thread, so handing stream i to parallel task i
+  /// yields results that do not depend on thread count or scheduling.
+  std::vector<Rng> fork_streams(std::size_t n) {
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) streams.push_back(fork());
+    return streams;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

@@ -1,0 +1,277 @@
+// Determinism gates for the parallel execution layer: the same seed must
+// produce bit-identical results at thread counts 1, 2, and 8 — replayed QoE
+// vectors, CC replay metrics, VecEnv trajectories, and trained PPO
+// parameters. Also covers ThreadPool semantics (coverage, ordering,
+// exception propagation) and the batched gemm forward path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "abr/bb.hpp"
+#include "abr/mpc.hpp"
+#include "abr/runner.hpp"
+#include "cc/cubic.hpp"
+#include "core/recorder.hpp"
+#include "rl/mlp.hpp"
+#include "rl/ppo.hpp"
+#include "rl/toy_envs.hpp"
+#include "rl/vec_env.hpp"
+#include "trace/generators.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace netadv;
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool{4};
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, MapReturnsResultsInIndexOrder) {
+  for (std::size_t threads : kThreadCounts) {
+    util::ThreadPool pool{threads};
+    const auto out =
+        pool.parallel_map(100, [](std::size_t i) { return 3 * i + 1; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+  }
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  util::ThreadPool pool{4};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error{"boom"};
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exceptional batch.
+  const auto out = pool.parallel_map(8, [](std::size_t i) { return i; });
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInline) {
+  util::ThreadPool pool{4};
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ThreadSafeLoggingSmoke) {
+  // No assertion beyond "does not crash/TSan-trip": many threads logging.
+  util::ThreadPool pool{8};
+  pool.parallel_for(64, [](std::size_t i) {
+    util::log_debug("parallel log line %zu", i);
+  });
+}
+
+TEST(RngForkStreams, IndependentOfConsumptionOrder) {
+  util::Rng a{42};
+  util::Rng b{42};
+  auto streams_a = a.fork_streams(4);
+  auto streams_b = b.fork_streams(4);
+  // Consume in different orders; each stream still yields the same values.
+  std::vector<std::uint64_t> first_a(4), first_b(4);
+  for (std::size_t i = 0; i < 4; ++i) first_a[i] = streams_a[i]();
+  for (std::size_t i = 4; i-- > 0;) first_b[i] = streams_b[i]();
+  EXPECT_EQ(first_a, first_b);
+}
+
+TEST(BatchedForward, MatchesPerSampleForwardBitExactly) {
+  util::Rng rng{7};
+  rl::Mlp net{{11, 32, 16, 5}, rl::Activation::kTanh, 0.01, rng};
+  std::vector<rl::Vec> inputs;
+  for (std::size_t n = 0; n < 17; ++n) {
+    rl::Vec x(11);
+    for (auto& v : x) v = rng.uniform(-2.0, 2.0);
+    inputs.push_back(std::move(x));
+  }
+  const auto batched = net.forward_batch(inputs);
+  ASSERT_EQ(batched.size(), inputs.size());
+  for (std::size_t n = 0; n < inputs.size(); ++n) {
+    const rl::Vec& single = net.forward(inputs[n]);
+    ASSERT_EQ(batched[n].size(), single.size());
+    for (std::size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(batched[n][j], single[j]);  // bit-identical, not just close
+    }
+  }
+}
+
+std::vector<double> replay_qoe_at(std::size_t threads,
+                                  const abr::VideoManifest& manifest,
+                                  const std::vector<trace::Trace>& traces) {
+  util::ThreadPool pool{threads};
+  return abr::qoe_per_trace(
+      []() -> std::unique_ptr<abr::AbrProtocol> {
+        return std::make_unique<abr::RobustMpc>();
+      },
+      manifest, traces, {}, &pool);
+}
+
+TEST(ParallelReplay, AbrQoeIdenticalAcrossThreadCounts) {
+  const abr::VideoManifest manifest;
+  trace::UniformRandomGenerator gen{{}};
+  util::Rng rng{2024};
+  const auto traces = gen.generate_many(24, rng);
+
+  // Sequential single-instance replay is the reference result.
+  abr::RobustMpc mpc;
+  const auto reference = abr::qoe_per_trace(mpc, manifest, traces);
+
+  for (std::size_t threads : kThreadCounts) {
+    const auto parallel = replay_qoe_at(threads, manifest, traces);
+    ASSERT_EQ(parallel.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(parallel[i], reference[i])
+          << "trace " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelReplay, CcReplayIdenticalAcrossThreadCounts) {
+  trace::UniformRandomGenerator gen{{}};
+  util::Rng rng{99};
+  std::vector<trace::Trace> traces;
+  for (const auto& full : gen.generate_many(8, rng)) {
+    // Keep only a few segments per trace so the packet-level sim stays cheap.
+    const std::size_t keep = std::min<std::size_t>(6, full.size());
+    std::vector<trace::Segment> head(full.segments().begin(),
+                                     full.segments().begin() +
+                                         static_cast<std::ptrdiff_t>(keep));
+    traces.emplace_back(std::move(head));
+  }
+
+  auto replay_at = [&](std::size_t threads) {
+    util::ThreadPool pool{threads};
+    return core::replay_cc_traces(
+        []() -> std::unique_ptr<cc::CcSender> {
+          return std::make_unique<cc::CubicSender>();
+        },
+        traces, {}, 5, &pool);
+  };
+
+  const auto reference = replay_at(1);
+  for (std::size_t threads : kThreadCounts) {
+    const auto results = replay_at(threads);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(results[i].mean_utilization, reference[i].mean_utilization);
+      EXPECT_EQ(results[i].mean_throughput_mbps,
+                reference[i].mean_throughput_mbps);
+      EXPECT_EQ(results[i].throughput_mbps, reference[i].throughput_mbps);
+    }
+  }
+}
+
+rl::VecEnv::StepBatch roll_vecenv_at(std::size_t threads) {
+  util::ThreadPool pool{threads};
+  rl::VecEnv venv{[](std::size_t) { return std::make_unique<rl::ContextualBanditEnv>(3, 4, 5); },
+                  /*n=*/6, /*seed=*/17, &pool};
+  venv.reset_all();
+  rl::VecEnv::StepBatch last;
+  for (int step = 0; step < 20; ++step) {
+    std::vector<rl::Vec> actions(venv.size(),
+                                 rl::Vec{static_cast<double>(step % 4)});
+    last = venv.step(actions);
+  }
+  return last;
+}
+
+TEST(VecEnv, TrajectoriesIdenticalAcrossThreadCounts) {
+  const auto reference = roll_vecenv_at(1);
+  for (std::size_t threads : kThreadCounts) {
+    const auto batch = roll_vecenv_at(threads);
+    EXPECT_EQ(batch.observations, reference.observations);
+    EXPECT_EQ(batch.rewards, reference.rewards);
+    EXPECT_EQ(batch.dones, reference.dones);
+  }
+}
+
+rl::PpoAgent train_vec_ppo_at(std::size_t threads) {
+  util::set_log_level(util::LogLevel::kWarn);
+  util::ThreadPool pool{threads};
+  rl::VecEnv venv{[](std::size_t) { return std::make_unique<rl::ContextualBanditEnv>(2, 3, 8); },
+                  /*n=*/4, /*seed=*/23, &pool};
+  rl::PpoConfig cfg;
+  cfg.hidden_sizes = {16, 8};
+  cfg.n_steps = 128;
+  cfg.minibatch_size = 32;
+  cfg.epochs = 3;
+  rl::PpoAgent agent{venv.observation_size(), venv.action_spec(), cfg, 31};
+  agent.train(venv, 512);
+  return agent;
+}
+
+TEST(VecPpo, TrainedParametersIdenticalAcrossThreadCounts) {
+  const rl::PpoAgent reference = train_vec_ppo_at(1);
+  for (std::size_t threads : kThreadCounts) {
+    rl::PpoAgent agent = train_vec_ppo_at(threads);
+    const auto ref_actor = reference.actor().params();
+    const auto actor = agent.actor().params();
+    ASSERT_EQ(actor.size(), ref_actor.size());
+    for (std::size_t i = 0; i < actor.size(); ++i) {
+      ASSERT_EQ(actor[i], ref_actor[i])
+          << "actor param " << i << " differs at " << threads << " threads";
+    }
+    const auto ref_critic = reference.critic().params();
+    const auto critic = agent.critic().params();
+    ASSERT_EQ(critic.size(), ref_critic.size());
+    for (std::size_t i = 0; i < critic.size(); ++i) {
+      ASSERT_EQ(critic[i], ref_critic[i])
+          << "critic param " << i << " differs at " << threads << " threads";
+    }
+    EXPECT_EQ(agent.obs_normalizer().mean(), reference.obs_normalizer().mean());
+    EXPECT_EQ(agent.obs_normalizer().count(),
+              reference.obs_normalizer().count());
+  }
+}
+
+TEST(VecPpo, LearnsContextualBandit) {
+  util::ThreadPool pool{4};
+  rl::VecEnv venv{[](std::size_t) { return std::make_unique<rl::ContextualBanditEnv>(2, 2, 16); },
+                  /*n=*/4, /*seed=*/3, &pool};
+  rl::PpoConfig cfg;
+  cfg.hidden_sizes = {16};
+  cfg.n_steps = 256;
+  cfg.minibatch_size = 64;
+  cfg.epochs = 4;
+  cfg.ent_coef = 0.01;
+  util::set_log_level(util::LogLevel::kWarn);
+  rl::PpoAgent agent{venv.observation_size(), venv.action_spec(), cfg, 9};
+  agent.train(venv, 12000);
+
+  // The greedy policy should pick the rewarded arm in both contexts.
+  rl::ContextualBanditEnv probe{2, 2, 16};
+  util::Rng rng{1};
+  std::size_t correct = 0;
+  const std::size_t trials = 32;
+  for (std::size_t k = 0; k < trials; ++k) {
+    const rl::Vec obs = probe.reset(rng);
+    std::size_t context = 0;
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      if (obs[i] > 0.5) context = i;
+    }
+    const rl::Vec action = agent.act_deterministic(obs);
+    if (static_cast<std::size_t>(action[0]) == probe.correct_arm(context)) {
+      ++correct;
+    }
+  }
+  EXPECT_GE(correct, trials - trials / 8);
+}
+
+}  // namespace
