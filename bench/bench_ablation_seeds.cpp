@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
 
 #include "abr/bb.hpp"
 #include "abr/optimal.hpp"
@@ -18,6 +19,7 @@
 #include "core/trainer.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -33,20 +35,40 @@ void run_seeds() {
   abr::VideoManifest::Params mp;
   mp.size_variation = 0.0;
   const abr::VideoManifest m{mp};
+  util::ThreadPool& pool = util::ThreadPool::global();
 
-  std::printf("\nABR adversary vs BB (%zu steps per seed):\n", abr_steps);
+  std::printf("\nABR adversary vs BB (%zu steps per seed, %zu threads):\n",
+              abr_steps, pool.thread_count());
   const std::vector<int> widths{8, 16};
   print_rule(widths);
   print_row({"seed", "mean regret"}, widths);
   print_rule(widths);
   util::RunningStat abr_spread;
   std::vector<std::vector<double>> csv_rows;
+
+  // The per-seed runs are independent experiments: train them concurrently
+  // (one env + seed per job, results in seed order at any thread count).
+  std::vector<std::unique_ptr<abr::BufferBased>> abr_targets;
+  std::vector<std::unique_ptr<core::AbrAdversaryEnv>> abr_envs;
+  std::vector<core::AbrAdversaryJob> abr_jobs;
   for (std::uint64_t seed : seeds) {
-    abr::BufferBased bb;
-    core::AbrAdversaryEnv env{m, bb};
-    rl::PpoAgent adversary = core::train_abr_adversary(env, abr_steps, seed);
-    util::Rng rng{seed + 1};
-    const auto traces = core::record_abr_traces(adversary, env, 15, rng);
+    abr_targets.push_back(std::make_unique<abr::BufferBased>());
+    abr_envs.push_back(
+        std::make_unique<core::AbrAdversaryEnv>(m, *abr_targets.back()));
+    abr_jobs.push_back({abr_envs.back().get(), abr_steps, seed});
+  }
+  const std::vector<rl::PpoAgent> abr_adversaries =
+      core::train_abr_adversaries(abr_jobs, &pool);
+
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const std::uint64_t seed = seeds[s];
+    const auto traces = core::record_abr_traces(
+        abr_adversaries[s], m,
+        []() -> std::unique_ptr<abr::AbrProtocol> {
+          return std::make_unique<abr::BufferBased>();
+        },
+        core::AbrAdversaryEnv::Params{}, 15, seed + 1,
+        /*deterministic=*/false, &pool);
     double regret = 0.0;
     for (const auto& t : traces) {
       abr::BufferBased target;
@@ -68,12 +90,22 @@ void run_seeds() {
   print_row({"seed", "mean util"}, widths);
   print_rule(widths);
   util::RunningStat cc_spread;
+
+  std::vector<std::unique_ptr<core::CcAdversaryEnv>> cc_envs;
+  std::vector<core::CcAdversaryJob> cc_jobs;
   for (std::uint64_t seed : seeds) {
-    core::CcAdversaryEnv env;
-    rl::PpoAgent adversary = core::train_cc_adversary(env, cc_steps, seed);
-    util::Rng rng{seed + 1};
-    const auto record =
-        core::record_cc_episode(adversary, env, rng, /*deterministic=*/false);
+    cc_envs.push_back(std::make_unique<core::CcAdversaryEnv>());
+    cc_jobs.push_back({cc_envs.back().get(), cc_steps, seed});
+  }
+  const std::vector<rl::PpoAgent> cc_adversaries =
+      core::train_cc_adversaries(cc_jobs, &pool);
+
+  for (std::size_t s = 0; s < seeds.size(); ++s) {
+    const std::uint64_t seed = seeds[s];
+    const auto records = core::record_cc_episodes(
+        cc_adversaries[s], core::CcAdversaryEnv::Params{}, nullptr, 1,
+        seed + 1, /*deterministic=*/false, &pool);
+    const core::CcEpisodeRecord& record = records.front();
     cc_spread.add(record.mean_utilization);
     print_row({std::to_string(seed), fmt(record.mean_utilization)}, widths);
     csv_rows.push_back({static_cast<double>(seed), 0.0,

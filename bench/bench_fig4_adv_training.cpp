@@ -19,6 +19,7 @@
 #include "trace/generators.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -72,6 +73,7 @@ void run_fig4() {
       cfg.adversary_steps = adversary_steps;
       cfg.adversarial_traces = 100;
       cfg.seed = 404 + 10 * d + t;
+      cfg.pool = &util::ThreadPool::global();
       core::robustify_pensieve(pensieve, env, cfg);
 
       abr::PensievePolicy policy{pensieve};

@@ -4,9 +4,12 @@
 // quantify why paper-scale training budgets (600k steps) run in seconds.
 //
 // After the google-benchmark suites, main() measures the parallel execution
-// layer directly — trace-replay and VecEnv rollout throughput at 1/2/N
-// threads — and drops the numbers as bench_out/BENCH_parallel.json so the
-// perf trajectory of the threading work is tracked across PRs.
+// layer directly — trace replay, VecEnv rollout, shadow-buffer PPO gradient
+// updates, and a miniature Figure-1 pipeline (concurrent adversary training +
+// batch trace recording) at 1/2/N threads — and drops the numbers as
+// bench_out/BENCH_parallel.json so the perf trajectory of the threading work
+// is tracked across PRs. Every section also re-checks the determinism
+// contract: results at N threads must be bit-identical to 1 thread.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -25,6 +28,7 @@
 #include "cc/runner.hpp"
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
+#include "core/recorder.hpp"
 #include "core/trainer.hpp"
 #include "rl/toy_envs.hpp"
 #include "rl/vec_env.hpp"
@@ -337,6 +341,97 @@ void write_parallel_artifact() {
     rollout_samples.push_back(sample);
   }
 
+  // --- gradient: PPO training through the shadow-buffer minibatch path. ---
+  // Same agent/env/seed at every thread count; the final parameters must be
+  // bit-identical to the 1-thread run (the tentpole determinism contract).
+  const std::size_t gradient_train_steps = 2048;
+  std::vector<ThreadSample> gradient_samples;
+  std::vector<double> gradient_reference;
+  bool gradient_identical = true;
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool pool{threads};
+    util::set_log_level(util::LogLevel::kWarn);
+    rl::ContextualBanditEnv env{2, 2, 32};
+    rl::PpoConfig cfg;
+    cfg.hidden_sizes = {32, 16};
+    cfg.n_steps = 256;
+    cfg.minibatch_size = 64;
+    cfg.epochs = 4;
+    rl::PpoAgent agent{env.observation_size(), env.action_spec(), cfg, 5};
+    agent.set_thread_pool(&pool);
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds =
+        time_seconds([&] { agent.train(env, gradient_train_steps); });
+    sample.items_per_s =
+        static_cast<double>(gradient_train_steps) / sample.seconds;
+    gradient_samples.push_back(sample);
+    std::vector<double> params;
+    params.insert(params.end(), agent.actor().params().begin(),
+                  agent.actor().params().end());
+    params.insert(params.end(), agent.critic().params().begin(),
+                  agent.critic().params().end());
+    params.insert(params.end(), agent.log_std().begin(),
+                  agent.log_std().end());
+    if (gradient_reference.empty()) {
+      gradient_reference = params;
+    } else if (params != gradient_reference) {
+      gradient_identical = false;
+    }
+  }
+
+  // --- fig_pipeline: a miniature Figure-1/2 pipeline — two adversaries
+  // trained concurrently (one PPO rollout each), then a batch-recorded
+  // adversarial corpus. The same shape bench_fig1/bench_fig2 run at scale. ---
+  const std::size_t pipeline_traces = 8;
+  std::vector<ThreadSample> pipeline_samples;
+  std::vector<double> pipeline_reference;
+  bool pipeline_identical = true;
+  for (std::size_t threads : thread_counts) {
+    util::ThreadPool pool{threads};
+    abr::VideoManifest::Params mini_params;
+    mini_params.size_variation = 0.0;
+    const abr::VideoManifest mini{mini_params};
+    abr::BufferBased bb0;
+    abr::BufferBased bb1;
+    core::AbrAdversaryEnv env0{mini, bb0};
+    core::AbrAdversaryEnv env1{mini, bb1};
+    std::vector<double> signature;
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds = time_seconds([&] {
+      const std::vector<rl::PpoAgent> adversaries =
+          core::train_abr_adversaries(
+              {{.env = &env0, .steps = 1, .seed = 7},
+               {.env = &env1, .steps = 1, .seed = 13}},
+              &pool);
+      const auto traces = core::record_abr_traces(
+          adversaries[0], mini,
+          []() -> std::unique_ptr<abr::AbrProtocol> {
+            return std::make_unique<abr::BufferBased>();
+          },
+          core::AbrAdversaryEnv::Params{}, pipeline_traces, /*seed=*/99,
+          /*deterministic=*/false, &pool);
+      for (const auto& adversary : adversaries) {
+        signature.insert(signature.end(), adversary.actor().params().begin(),
+                         adversary.actor().params().end());
+      }
+      for (const auto& t : traces) {
+        for (const auto& s : t.segments()) {
+          signature.push_back(s.bandwidth_mbps);
+        }
+      }
+    });
+    sample.items_per_s =
+        static_cast<double>(pipeline_traces) / sample.seconds;
+    pipeline_samples.push_back(sample);
+    if (pipeline_reference.empty()) {
+      pipeline_reference = signature;
+    } else if (signature != pipeline_reference) {
+      pipeline_identical = false;
+    }
+  }
+
   const auto speedup = [](const std::vector<ThreadSample>& samples) {
     double best = 0.0;
     for (const auto& s : samples) {
@@ -375,16 +470,34 @@ void write_parallel_artifact() {
   std::fprintf(f, "  \"rollout_envs\": 8,\n");
   std::fprintf(f, "  \"rollout_batches\": %zu,\n", rollout_batches);
   write_samples("rollout", rollout_samples, "steps_per_s");
+  std::fprintf(f, "  \"gradient_train_steps\": %zu,\n", gradient_train_steps);
+  std::fprintf(f, "  \"gradient_params_identical\": %s,\n",
+               gradient_identical ? "true" : "false");
+  write_samples("gradient", gradient_samples, "steps_per_s");
+  std::fprintf(f, "  \"fig_pipeline_adversaries\": 2,\n");
+  std::fprintf(f, "  \"fig_pipeline_traces\": %zu,\n", pipeline_traces);
+  std::fprintf(f, "  \"fig_pipeline_results_identical\": %s,\n",
+               pipeline_identical ? "true" : "false");
+  write_samples("fig_pipeline", pipeline_samples, "traces_per_s");
   std::fprintf(f, "  \"replay_speedup_vs_1_thread\": %.3f,\n",
                speedup(replay_samples));
-  std::fprintf(f, "  \"rollout_speedup_vs_1_thread\": %.3f\n",
+  std::fprintf(f, "  \"rollout_speedup_vs_1_thread\": %.3f,\n",
                speedup(rollout_samples));
+  std::fprintf(f, "  \"gradient_speedup_vs_1_thread\": %.3f,\n",
+               speedup(gradient_samples));
+  std::fprintf(f, "  \"fig_pipeline_speedup_vs_1_thread\": %.3f\n",
+               speedup(pipeline_samples));
   std::fprintf(f, "}\n");
   std::fclose(f);
-  util::log_info("BENCH_parallel: wrote %s (replay speedup %.2fx, "
-                 "rollout speedup %.2fx at %zu threads)",
+  util::log_info("BENCH_parallel: wrote %s (replay %.2fx, rollout %.2fx, "
+                 "gradient %.2fx, fig pipeline %.2fx at %zu threads; "
+                 "all results identical: %s)",
                  path.c_str(), speedup(replay_samples),
-                 speedup(rollout_samples), hw);
+                 speedup(rollout_samples), speedup(gradient_samples),
+                 speedup(pipeline_samples), hw,
+                 replay_identical && gradient_identical && pipeline_identical
+                     ? "yes"
+                     : "NO");
 }
 
 }  // namespace

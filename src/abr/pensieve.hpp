@@ -99,4 +99,32 @@ class PensievePolicy final : public AbrProtocol {
   const VideoManifest* manifest_ = nullptr;
 };
 
+/// PensievePolicy over a *private copy* of a trained PPO agent. Use one per
+/// parallel task: concurrent workers serving the same trained Pensieve must
+/// never share an agent (act_deterministic mutates the forward caches), so
+/// factories hand each task its own OwnedPensievePolicy and the source agent
+/// is only read at construction time.
+class OwnedPensievePolicy final : public AbrProtocol {
+ public:
+  explicit OwnedPensievePolicy(const rl::PpoAgent& agent,
+                               std::string name = "pensieve")
+      : agent_(agent), policy_(agent_, std::move(name)) {}
+
+  // policy_ points into agent_, so default copy/move would dangle.
+  OwnedPensievePolicy(const OwnedPensievePolicy&) = delete;
+  OwnedPensievePolicy& operator=(const OwnedPensievePolicy&) = delete;
+
+  std::string name() const override { return policy_.name(); }
+  void begin_video(const VideoManifest& manifest) override {
+    policy_.begin_video(manifest);
+  }
+  std::size_t choose_quality(const AbrObservation& observation) override {
+    return policy_.choose_quality(observation);
+  }
+
+ private:
+  rl::PpoAgent agent_;
+  PensievePolicy policy_;
+};
+
 }  // namespace netadv::abr

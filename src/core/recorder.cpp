@@ -43,6 +43,38 @@ std::vector<trace::Trace> record_abr_traces(rl::PpoAgent& agent,
   return traces;
 }
 
+std::vector<trace::Trace> record_abr_traces(
+    const rl::PpoAgent& agent, const abr::VideoManifest& manifest,
+    const ProtocolFactory& make_protocol, const AbrAdversaryEnv::Params& params,
+    std::size_t count, std::uint64_t seed, bool deterministic,
+    util::ThreadPool* pool) {
+  // Fork every episode's stream up front on the caller so episode i replays
+  // the same randomness whichever thread picks it up.
+  util::Rng master{seed};
+  std::vector<util::Rng> streams = master.fork_streams(count);
+
+  auto record_one = [&](std::size_t i) {
+    const std::unique_ptr<abr::AbrProtocol> protocol = make_protocol();
+    if (!protocol) {
+      throw std::invalid_argument{"record_abr_traces: factory returned null"};
+    }
+    AbrAdversaryEnv env{manifest, *protocol, params};
+    rl::PpoAgent clone = agent;
+    run_episode(clone, env, streams[i], deterministic);
+    trace::Trace t;
+    for (double bw : env.episode_bandwidths()) {
+      t.append({env.chunk_duration_s(), bw, 80.0, 0.0});
+    }
+    return t;
+  };
+  if (pool == nullptr) {
+    std::vector<trace::Trace> traces(count);
+    for (std::size_t i = 0; i < count; ++i) traces[i] = record_one(i);
+    return traces;
+  }
+  return pool->parallel_map(count, record_one);
+}
+
 AbrEpisodeRecord record_abr_episode(rl::PpoAgent& agent, AbrAdversaryEnv& env,
                                     util::Rng& rng, bool deterministic) {
   AbrEpisodeRecord record;
@@ -116,6 +148,26 @@ CcEpisodeRecord record_cc_episode(rl::PpoAgent& agent, CcAdversaryEnv& env,
   record.mean_utilization = epochs > 0 ? util_sum / static_cast<double>(epochs)
                                        : 0.0;
   return record;
+}
+
+std::vector<CcEpisodeRecord> record_cc_episodes(
+    const rl::PpoAgent& agent, const CcAdversaryEnv::Params& params,
+    const CcAdversaryEnv::SenderFactory& make_sender, std::size_t count,
+    std::uint64_t seed, bool deterministic, util::ThreadPool* pool) {
+  util::Rng master{seed};
+  std::vector<util::Rng> streams = master.fork_streams(count);
+
+  auto record_one = [&](std::size_t i) {
+    CcAdversaryEnv env{params, make_sender};
+    rl::PpoAgent clone = agent;
+    return record_cc_episode(clone, env, streams[i], deterministic);
+  };
+  if (pool == nullptr) {
+    std::vector<CcEpisodeRecord> records(count);
+    for (std::size_t i = 0; i < count; ++i) records[i] = record_one(i);
+    return records;
+  }
+  return pool->parallel_map(count, record_one);
 }
 
 CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,

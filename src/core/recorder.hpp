@@ -29,6 +29,25 @@ std::vector<trace::Trace> record_abr_traces(rl::PpoAgent& agent,
                                             std::size_t count, util::Rng& rng,
                                             bool deterministic = false);
 
+/// Builds a fresh target protocol per recording task; must be thread-safe to
+/// call (it only constructs new objects).
+using ProtocolFactory = std::function<std::unique_ptr<abr::AbrProtocol>()>;
+
+/// Batch corpus generation: record `count` adversarial traces across `pool`
+/// (sequentially when null), one fresh (cloned agent, fresh protocol, fresh
+/// env) triple per task.
+///
+/// Determinism contract: per-episode RNG streams are forked from `seed` on
+/// the calling thread in episode order before dispatch, each task touches
+/// only its own clone/env/stream, and results land in the slot of their own
+/// episode index — so the corpus is bit-identical at every thread count,
+/// including pool == nullptr.
+std::vector<trace::Trace> record_abr_traces(
+    const rl::PpoAgent& agent, const abr::VideoManifest& manifest,
+    const ProtocolFactory& make_protocol, const AbrAdversaryEnv::Params& params,
+    std::size_t count, std::uint64_t seed, bool deterministic = false,
+    util::ThreadPool* pool = nullptr);
+
 /// Per-chunk timeline of one adversarial episode (Figure 3's panels).
 struct AbrEpisodeRecord {
   std::vector<double> bandwidth_mbps;   ///< adversary's actions
@@ -66,6 +85,18 @@ struct CcEpisodeRecord {
 
 CcEpisodeRecord record_cc_episode(rl::PpoAgent& agent, CcAdversaryEnv& env,
                                   util::Rng& rng, bool deterministic = true);
+
+/// Batch variant of record_cc_episode: `count` episodes across `pool`
+/// (sequentially when null), one fresh (cloned agent, fresh env with a fresh
+/// target sender) pair per task. Same determinism contract as the batch
+/// record_abr_traces: streams forked from `seed` in episode order on the
+/// caller, results reduced by episode index, bit-identical at every thread
+/// count. `make_sender` may be null for the env's default target (BBR).
+std::vector<CcEpisodeRecord> record_cc_episodes(
+    const rl::PpoAgent& agent, const CcAdversaryEnv::Params& params,
+    const CcAdversaryEnv::SenderFactory& make_sender, std::size_t count,
+    std::uint64_t seed, bool deterministic = false,
+    util::ThreadPool* pool = nullptr);
 
 /// Replay a recorded CC trace (fixed conditions per segment) against a
 /// sender, ignoring the adversary: used to check that recorded traces

@@ -1,7 +1,10 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "core/recorder.hpp"
 #include "util/log.hpp"
@@ -39,20 +42,72 @@ rl::PpoConfig cc_adversary_ppo_config() {
 
 rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
                                  std::uint64_t seed,
-                                 const rl::TrainCallback& callback) {
+                                 const rl::TrainCallback& callback,
+                                 util::ThreadPool* pool) {
   rl::PpoAgent agent{env.observation_size(), env.action_spec(),
                      abr_adversary_ppo_config(), seed};
+  agent.set_thread_pool(pool);
   agent.train(env, steps, callback);
+  agent.set_thread_pool(nullptr);
   return agent;
 }
 
 rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
                                 std::uint64_t seed,
-                                const rl::TrainCallback& callback) {
+                                const rl::TrainCallback& callback,
+                                util::ThreadPool* pool) {
   rl::PpoAgent agent{env.observation_size(), env.action_spec(),
                      cc_adversary_ppo_config(), seed};
+  agent.set_thread_pool(pool);
   agent.train(env, steps, callback);
+  agent.set_thread_pool(nullptr);
   return agent;
+}
+
+namespace {
+
+/// Shared fan-out for the two adversary families: run `train_one(i)` for
+/// every job slot concurrently (results to their own index), then unwrap.
+template <typename TrainOne>
+std::vector<rl::PpoAgent> train_concurrently(std::size_t count,
+                                             util::ThreadPool* pool,
+                                             const TrainOne& train_one) {
+  // PpoAgent is not default-constructible, so tasks fill optional slots.
+  std::vector<std::optional<rl::PpoAgent>> slots(count);
+  auto run = [&](std::size_t i) { slots[i].emplace(train_one(i)); };
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < count; ++i) run(i);
+  } else {
+    pool->parallel_for(count, run);
+  }
+  std::vector<rl::PpoAgent> agents;
+  agents.reserve(count);
+  for (auto& slot : slots) agents.push_back(std::move(*slot));
+  return agents;
+}
+
+}  // namespace
+
+std::vector<rl::PpoAgent> train_abr_adversaries(
+    const std::vector<AbrAdversaryJob>& jobs, util::ThreadPool* pool) {
+  return train_concurrently(jobs.size(), pool, [&](std::size_t i) {
+    const AbrAdversaryJob& job = jobs[i];
+    if (job.env == nullptr) {
+      throw std::invalid_argument{"train_abr_adversaries: null env"};
+    }
+    return train_abr_adversary(*job.env, job.steps, job.seed, nullptr, pool);
+  });
+}
+
+std::vector<rl::PpoAgent> train_cc_adversaries(
+    const std::vector<CcAdversaryJob>& jobs, util::ThreadPool* pool) {
+  return train_concurrently(jobs.size(), pool, [&](std::size_t i) {
+    const CcAdversaryJob& job = jobs[i];
+    if (job.env == nullptr) {
+      throw std::invalid_argument{"train_cc_adversaries: null env"};
+    }
+    return train_cc_adversary(*job.env, job.steps, job.seed, nullptr, pool);
+  });
 }
 
 RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
@@ -67,11 +122,19 @@ RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
   const auto phase1_steps = static_cast<std::size_t>(
       static_cast<double>(config.protocol_steps) * frac);
 
+  // Borrow the pool for the protocol's own gradient steps for the duration
+  // of the pipeline (restored on return; bit-identical either way).
+  util::ThreadPool* const saved_pool = pensieve.thread_pool();
+  if (config.pool != nullptr) pensieve.set_thread_pool(config.pool);
+
   // (1) Train the protocol of interest.
   util::log_info("robustify: phase 1, %zu steps on %zu traces", phase1_steps,
                  env.traces().size());
   result.phase1 = pensieve.train(env, phase1_steps);
-  if (frac >= 1.0) return result;  // baseline: no adversarial injection
+  if (frac >= 1.0) {
+    pensieve.set_thread_pool(saved_pool);
+    return result;  // baseline: no adversarial injection
+  }
 
   // (2) Train an adversary against the partially trained protocol.
   abr::PensievePolicy target{pensieve};
@@ -80,13 +143,19 @@ RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
                  config.adversary_steps);
   rl::PpoAgent adversary{adv_env.observation_size(), adv_env.action_spec(),
                          abr_adversary_ppo_config(), config.seed + 17};
+  adversary.set_thread_pool(config.pool);
   result.adversary_report = adversary.train(adv_env, config.adversary_steps);
 
-  // (3) Generate adversarial traces from the trained adversary.
-  util::Rng trace_rng{config.seed + 29};
+  // (3) Generate adversarial traces from the trained adversary, fanning one
+  // (cloned adversary, cloned target, fresh env) triple per trace across the
+  // pool.
   result.adversarial_traces = record_abr_traces(
-      adversary, adv_env, config.adversarial_traces, trace_rng,
-      /*deterministic=*/false);
+      adversary, env.manifest(),
+      [&pensieve]() -> std::unique_ptr<abr::AbrProtocol> {
+        return std::make_unique<abr::OwnedPensievePolicy>(pensieve);
+      },
+      config.adversary_params, config.adversarial_traces, config.seed + 29,
+      /*deterministic=*/false, config.pool);
 
   // (4) Continue training on the augmented dataset.
   std::vector<trace::Trace> augmented = env.traces();
@@ -97,6 +166,7 @@ RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,
   util::log_info("robustify: phase 2, %zu steps on %zu traces", phase2_steps,
                  env.traces().size());
   result.phase2 = pensieve.train(env, phase2_steps);
+  pensieve.set_thread_pool(saved_pool);
   return result;
 }
 

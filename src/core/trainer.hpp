@@ -17,6 +17,7 @@
 #include "core/cc_adversary.hpp"
 #include "rl/ppo.hpp"
 #include "trace/trace.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::core {
 
@@ -29,13 +30,48 @@ rl::PpoConfig abr_adversary_ppo_config();
 rl::PpoConfig cc_adversary_ppo_config();
 
 /// Train a fresh adversary against `env` for `steps` environment steps.
+/// A non-null `pool` parallelizes the gradient step via the agent's
+/// shadow-buffer path; trained parameters are bit-identical either way.
 rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
                                  std::uint64_t seed,
-                                 const rl::TrainCallback& callback = nullptr);
+                                 const rl::TrainCallback& callback = nullptr,
+                                 util::ThreadPool* pool = nullptr);
 
 rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
                                 std::uint64_t seed,
-                                const rl::TrainCallback& callback = nullptr);
+                                const rl::TrainCallback& callback = nullptr,
+                                util::ThreadPool* pool = nullptr);
+
+/// One independent adversary-training job: its own env (never shared between
+/// jobs — envs are stateful) and its own seed.
+struct AbrAdversaryJob {
+  AbrAdversaryEnv* env = nullptr;
+  std::size_t steps = 0;
+  std::uint64_t seed = 0;
+};
+
+struct CcAdversaryJob {
+  CcAdversaryEnv* env = nullptr;
+  std::size_t steps = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Train independent adversaries concurrently across `pool` (sequentially
+/// when null), one job per slot of the returned vector.
+///
+/// Determinism contract: each job's training is a pure function of its
+/// (env, steps, seed) — agents, envs, and RNG state are all job-private, and
+/// results land in the slot of their own job index — so the returned agents
+/// are bit-identical at every thread count, and identical to running the
+/// jobs back-to-back through train_abr_adversary. While a job runs on the
+/// pool, its own gradient step degrades to the sequential path (nested
+/// parallel_for runs inline), which changes nothing: the shadow-buffer path
+/// is bit-identical to sequential by construction.
+std::vector<rl::PpoAgent> train_abr_adversaries(
+    const std::vector<AbrAdversaryJob>& jobs, util::ThreadPool* pool = nullptr);
+
+std::vector<rl::PpoAgent> train_cc_adversaries(
+    const std::vector<CcAdversaryJob>& jobs, util::ThreadPool* pool = nullptr);
 
 /// Configuration of the full robustification run (Figure 4's treatment).
 struct RobustifyConfig {
@@ -45,6 +81,9 @@ struct RobustifyConfig {
   std::size_t adversarial_traces = 100;    ///< traces to generate and add
   std::uint64_t seed = 1;
   AbrAdversaryEnv::Params adversary_params{};
+  /// Parallelizes the gradient steps and the adversarial-trace generation;
+  /// the result is bit-identical at every pool size (null = sequential).
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RobustifyResult {

@@ -93,56 +93,106 @@ double A2cAgent::value_estimate(const Vec& observation) {
   return critic_.forward(normalized(observation))[0];
 }
 
+void A2cAgent::accumulate_sample(const Transition& t, double inv_n,
+                                 std::span<double> actor_grads,
+                                 std::span<double> critic_grads,
+                                 std::span<double> log_std_grads,
+                                 std::span<double> stats_terms,
+                                 GradWorkspace& ws) const {
+  const Vec& head = actor_.forward(t.observation, ws.actor);
+
+  // Vanilla policy gradient: dLoss/dlogp = -advantage.
+  const double dloss_dlogp = -t.advantage;
+  Vec head_grad(head.size(), 0.0);
+  if (discrete()) {
+    const auto a = static_cast<std::size_t>(t.action[0]);
+    const Vec logp_grad = Categorical::log_prob_grad(head, a);
+    const Vec ent_grad = Categorical::entropy_grad(head);
+    stats_terms[0] += -Categorical::log_prob(head, a) * t.advantage * inv_n;
+    stats_terms[2] += Categorical::entropy(head) * inv_n;
+    for (std::size_t j = 0; j < head.size(); ++j) {
+      head_grad[j] = (dloss_dlogp * logp_grad[j] -
+                      config_.ent_coef * ent_grad[j]) *
+                     inv_n;
+    }
+  } else {
+    const Vec logp_grad_mean =
+        DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
+    const Vec logp_grad_ls =
+        DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
+    stats_terms[0] +=
+        -DiagGaussian::log_prob(head, log_std_, t.action) * t.advantage *
+        inv_n;
+    stats_terms[2] += DiagGaussian::entropy(log_std_) * inv_n;
+    for (std::size_t j = 0; j < head.size(); ++j) {
+      head_grad[j] = dloss_dlogp * logp_grad_mean[j] * inv_n;
+    }
+    for (std::size_t j = 0; j < log_std_.size(); ++j) {
+      log_std_grads[j] += (dloss_dlogp * logp_grad_ls[j] -
+                           config_.ent_coef * 1.0) *
+                          inv_n;
+    }
+  }
+  actor_.backward(head_grad, ws.actor, actor_grads);
+
+  const double v = critic_.forward(t.observation, ws.critic)[0];
+  const double v_err = v - t.return_;
+  stats_terms[1] += 0.5 * v_err * v_err * inv_n;
+  critic_.backward({config_.vf_coef * v_err * inv_n}, ws.critic, critic_grads);
+}
+
 A2cAgent::UpdateStats A2cAgent::apply_update(const RolloutBuffer& buffer) {
   actor_.zero_grad();
   critic_.zero_grad();
   for (auto& g : log_std_grad_) g = 0.0;
 
   UpdateStats stats;
-  const double inv_n = 1.0 / static_cast<double>(buffer.size());
+  const std::size_t n = buffer.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
 
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    const Transition& t = buffer[i];
-    const Vec& head = actor_.forward(t.observation);
-
-    // Vanilla policy gradient: dLoss/dlogp = -advantage.
-    const double dloss_dlogp = -t.advantage;
-    Vec head_grad(head.size(), 0.0);
-    if (discrete()) {
-      const auto a = static_cast<std::size_t>(t.action[0]);
-      const Vec logp_grad = Categorical::log_prob_grad(head, a);
-      const Vec ent_grad = Categorical::entropy_grad(head);
-      stats.policy_loss += -Categorical::log_prob(head, a) * t.advantage * inv_n;
-      stats.entropy += Categorical::entropy(head) * inv_n;
-      for (std::size_t j = 0; j < head.size(); ++j) {
-        head_grad[j] = (dloss_dlogp * logp_grad[j] -
-                        config_.ent_coef * ent_grad[j]) *
-                       inv_n;
+  if (pool_ != nullptr && pool_->thread_count() > 1 && n > 1) {
+    // Shadow-buffer path; see PpoAgent::update_minibatch for the argument
+    // that index-ordered reduction of per-sample slots is bit-identical to
+    // the sequential accumulation.
+    const std::size_t ap = actor_.param_count();
+    const std::size_t cp = critic_.param_count();
+    const std::size_t ls = log_std_.size();
+    const std::size_t stride = ap + cp + ls;
+    shadow_grads_.resize(n * stride);
+    shadow_stats_.resize(n * 3);
+    if (sample_ws_.size() < n) sample_ws_.resize(n);
+    pool_->parallel_for(n, [&](std::size_t k) {
+      double* slot = shadow_grads_.data() + k * stride;
+      std::fill(slot, slot + stride, 0.0);
+      double* st = shadow_stats_.data() + k * 3;
+      std::fill(st, st + 3, 0.0);
+      accumulate_sample(buffer[k], inv_n, {slot, ap}, {slot + ap, cp},
+                        {slot + ap + cp, ls}, {st, 3}, sample_ws_[k]);
+    });
+    auto ag = actor_.grads();
+    auto cg = critic_.grads();
+    for (std::size_t k = 0; k < n; ++k) {
+      const double* slot = shadow_grads_.data() + k * stride;
+      for (std::size_t i = 0; i < ap; ++i) ag[i] += slot[i];
+      for (std::size_t i = 0; i < cp; ++i) cg[i] += slot[ap + i];
+      for (std::size_t i = 0; i < ls; ++i) {
+        log_std_grad_[i] += slot[ap + cp + i];
       }
-    } else {
-      const Vec logp_grad_mean =
-          DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
-      const Vec logp_grad_ls =
-          DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
-      stats.policy_loss +=
-          -DiagGaussian::log_prob(head, log_std_, t.action) * t.advantage *
-          inv_n;
-      stats.entropy += DiagGaussian::entropy(log_std_) * inv_n;
-      for (std::size_t j = 0; j < head.size(); ++j) {
-        head_grad[j] = dloss_dlogp * logp_grad_mean[j] * inv_n;
-      }
-      for (std::size_t j = 0; j < log_std_.size(); ++j) {
-        log_std_grad_[j] += (dloss_dlogp * logp_grad_ls[j] -
-                             config_.ent_coef * 1.0) *
-                            inv_n;
-      }
+      const double* st = shadow_stats_.data() + k * 3;
+      stats.policy_loss += st[0];
+      stats.value_loss += st[1];
+      stats.entropy += st[2];
     }
-    actor_.backward(head_grad);
-
-    const double v = critic_.forward(t.observation)[0];
-    const double v_err = v - t.return_;
-    stats.value_loss += 0.5 * v_err * v_err * inv_n;
-    critic_.backward({config_.vf_coef * v_err * inv_n});
+  } else {
+    if (sample_ws_.empty()) sample_ws_.resize(1);
+    for (std::size_t i = 0; i < n; ++i) {
+      double terms[3] = {0.0, 0.0, 0.0};
+      accumulate_sample(buffer[i], inv_n, actor_.grads(), critic_.grads(),
+                        log_std_grad_, terms, sample_ws_[0]);
+      stats.policy_loss += terms[0];
+      stats.value_loss += terms[1];
+      stats.entropy += terms[2];
+    }
   }
 
   if (config_.max_grad_norm > 0.0) {

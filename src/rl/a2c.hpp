@@ -7,12 +7,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "rl/adam.hpp"
 #include "rl/agent.hpp"
 #include "rl/mlp.hpp"
 #include "rl/normalizer.hpp"
 #include "rl/rollout.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::rl {
 
@@ -42,6 +44,13 @@ class A2cAgent final : public Agent {
   TrainReport train(Env& env, std::size_t total_steps,
                     const TrainCallback& callback = nullptr) override;
 
+  /// Attach a pool for shadow-buffer update gradients (nullptr restores the
+  /// sequential path). Same determinism contract as PpoAgent: per-sample
+  /// shadow buffers reduced in sample-index order make trained parameters
+  /// byte-identical at any pool size. The pool is borrowed, not owned.
+  void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+  util::ThreadPool* thread_pool() const noexcept { return pool_; }
+
   const A2cConfig& config() const noexcept { return config_; }
   const ActionSpec& action_spec() const noexcept override {
     return action_spec_;
@@ -59,6 +68,18 @@ class A2cAgent final : public Agent {
     double value_loss = 0.0;
     double entropy = 0.0;
   };
+  struct GradWorkspace {
+    Mlp::Workspace actor;
+    Mlp::Workspace critic;
+  };
+  /// One sample's loss terms and gradients, accumulated into the caller's
+  /// buffers; const and safe to run concurrently for distinct buffers.
+  void accumulate_sample(const Transition& t, double inv_n,
+                         std::span<double> actor_grads,
+                         std::span<double> critic_grads,
+                         std::span<double> log_std_grads,
+                         std::span<double> stats_terms,
+                         GradWorkspace& ws) const;
   UpdateStats apply_update(const RolloutBuffer& buffer);
 
   std::size_t obs_size_;
@@ -77,6 +98,12 @@ class A2cAgent final : public Agent {
 
   RunningNormalizer obs_normalizer_;
   ReturnNormalizer return_normalizer_;
+
+  // Shadow-buffer gradient scratch (see set_thread_pool).
+  util::ThreadPool* pool_ = nullptr;
+  std::vector<double> shadow_grads_;
+  std::vector<double> shadow_stats_;
+  std::vector<GradWorkspace> sample_ws_;
 };
 
 }  // namespace netadv::rl

@@ -70,28 +70,36 @@ Mlp::Mlp(std::vector<std::size_t> sizes, Activation hidden_activation,
     // Biases start at zero (already the case from assign()).
   }
 
-  pre_.resize(layers_.size());
-  post_.resize(layers_.size() + 1);
+  ws_.pre.resize(layers_.size());
+  ws_.post.resize(layers_.size() + 1);
 }
 
 const Vec& Mlp::forward(const Vec& input) {
+  const Vec& out = forward(input, ws_);
+  forward_done_ = true;
+  return out;
+}
+
+const Vec& Mlp::forward(const Vec& input, Workspace& ws) const {
   if (input.size() != input_size()) {
     throw std::invalid_argument{"Mlp::forward: wrong input size"};
   }
-  post_[0] = input;
+  ws.pre.resize(layers_.size());
+  ws.post.resize(layers_.size() + 1);
+  ws.post[0] = input;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const Layer& l = layers_[i];
-    pre_[i].assign(l.out, 0.0);
-    gemv(weight(l), l.out, l.in, post_[i], bias(l), pre_[i]);
+    ws.pre[i].assign(l.out, 0.0);
+    gemv(weight(l), l.out, l.in, ws.post[i],
+         {params_.data() + l.b_offset, l.out}, ws.pre[i]);
     const bool last = (i + 1 == layers_.size());
     const Activation act = last ? Activation::kIdentity : hidden_;
-    post_[i + 1].resize(l.out);
+    ws.post[i + 1].resize(l.out);
     for (std::size_t j = 0; j < l.out; ++j) {
-      post_[i + 1][j] = activate(act, pre_[i][j]);
+      ws.post[i + 1][j] = activate(act, ws.pre[i][j]);
     }
   }
-  forward_done_ = true;
-  return post_.back();
+  return ws.post.back();
 }
 
 std::vector<Vec> Mlp::forward_batch(const std::vector<Vec>& inputs) const {
@@ -129,8 +137,19 @@ std::vector<Vec> Mlp::forward_batch(const std::vector<Vec>& inputs) const {
 
 Vec Mlp::backward(const Vec& grad_output) {
   if (!forward_done_) throw std::logic_error{"Mlp::backward before forward"};
+  return backward(grad_output, ws_, grads_);
+}
+
+Vec Mlp::backward(const Vec& grad_output, const Workspace& ws,
+                  std::span<double> grads) const {
   if (grad_output.size() != output_size()) {
     throw std::invalid_argument{"Mlp::backward: wrong gradient size"};
+  }
+  if (grads.size() != params_.size()) {
+    throw std::invalid_argument{"Mlp::backward: wrong gradient buffer size"};
+  }
+  if (ws.post.size() != layers_.size() + 1) {
+    throw std::logic_error{"Mlp::backward before forward"};
   }
 
   Vec delta = grad_output;  // dLoss/dPost of current layer
@@ -140,10 +159,11 @@ Vec Mlp::backward(const Vec& grad_output) {
     const Activation act = last ? Activation::kIdentity : hidden_;
     // dLoss/dPre = dLoss/dPost * act'(pre)
     for (std::size_t j = 0; j < l.out; ++j) {
-      delta[j] *= activate_grad(act, pre_[idx][j], post_[idx + 1][j]);
+      delta[j] *= activate_grad(act, ws.pre[idx][j], ws.post[idx + 1][j]);
     }
-    rank1_update(weight_grad(l), l.out, l.in, delta, post_[idx]);
-    auto bg = bias_grad(l);
+    rank1_update({grads.data() + l.w_offset, l.in * l.out}, l.out, l.in, delta,
+                 ws.post[idx]);
+    double* bg = grads.data() + l.b_offset;
     for (std::size_t j = 0; j < l.out; ++j) bg[j] += delta[j];
 
     Vec next(l.in, 0.0);

@@ -5,6 +5,13 @@
 // flat parameter array. forward() caches activations; backward() consumes
 // them and *accumulates* into the gradient array, which is what minibatch
 // training wants (call zero_grad() between minibatches).
+//
+// For concurrent per-sample gradient computation there is a second, const
+// entry point pair: forward(input, Workspace&) / backward(grad, Workspace&,
+// grads) run the identical arithmetic against caller-owned activation caches
+// and a caller-owned gradient buffer, so any number of threads can
+// backpropagate through one shared network at once (parameters are only
+// read). The PPO/A2C shadow-buffer minibatch path is built on this.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +27,14 @@ enum class Activation { kTanh, kRelu, kIdentity };
 
 class Mlp {
  public:
+  /// Caller-owned activation caches for the const forward/backward pair.
+  /// One Workspace per concurrent task; a Workspace may be reused across
+  /// samples (buffers are resized on each forward).
+  struct Workspace {
+    std::vector<Vec> pre;   ///< per-layer pre-activations z
+    std::vector<Vec> post;  ///< per-layer post-activations a (post[0] = input)
+  };
+
   /// `sizes` is {input, hidden..., output}; at least {in, out}.
   /// Hidden layers use `hidden_activation`; the output layer is linear, with
   /// its initial weights scaled by `final_gain` (0.01 is the usual PPO trick
@@ -35,6 +50,12 @@ class Mlp {
   /// Forward pass; the returned reference is valid until the next forward().
   const Vec& forward(const Vec& input);
 
+  /// Forward pass into a caller-owned workspace. Const and safe to call from
+  /// several threads on the same network at once; the arithmetic (and hence
+  /// the result, bit for bit) is identical to the member-cache forward().
+  /// The returned reference aliases ws.post.back().
+  const Vec& forward(const Vec& input, Workspace& ws) const;
+
   /// Inference-only batched forward over N inputs via the gemm kernel.
   /// Bit-identical to calling forward() per input (same accumulation order),
   /// but does not touch the activation caches, so it is const, safe to call
@@ -45,6 +66,16 @@ class Mlp {
   /// Backpropagate `grad_output` (dLoss/dOutput for the *last* forward()),
   /// accumulating parameter gradients; returns dLoss/dInput.
   Vec backward(const Vec& grad_output);
+
+  /// Backpropagate against the activations cached in `ws` by the const
+  /// forward(), *accumulating* into the caller-owned `grads` buffer (size
+  /// param_count(), same weights-then-biases layout as grads()). Const and
+  /// thread-safe for distinct (ws, grads) pairs — this is the shadow-buffer
+  /// half of the deterministic parallel minibatch: each sample's gradient is
+  /// a single accumulation term per parameter, so summing shadow buffers in
+  /// sample-index order reproduces the sequential gradient bit for bit.
+  Vec backward(const Vec& grad_output, const Workspace& ws,
+               std::span<double> grads) const;
 
   void zero_grad() noexcept;
 
@@ -86,10 +117,9 @@ class Mlp {
   std::vector<double> params_;
   std::vector<double> grads_;
 
-  // Per-layer caches from the last forward(): pre-activation z and
-  // post-activation a (post_.front() is the input itself).
-  std::vector<Vec> pre_;
-  std::vector<Vec> post_;
+  // Activation caches from the last member forward(); the member
+  // forward/backward pair simply runs the const workspace pair against this.
+  Workspace ws_;
   bool forward_done_ = false;
 };
 

@@ -237,6 +237,12 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
         "PpoAgent::train: minibatch larger than vectorized rollout"};
   }
 
+  // Adopt the venv's pool for the gradient step unless the caller already
+  // attached one; the shadow-buffer path is bit-identical to sequential, so
+  // this only changes wall-clock.
+  util::ThreadPool* const saved_pool = pool_;
+  if (pool_ == nullptr) pool_ = venv.pool();
+
   TrainReport report;
   RolloutBuffer buffer{rollout_len};
 
@@ -349,6 +355,7 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
     }
   }
 
+  pool_ = saved_pool;
   finalize_report(report, steps_done, episode_rewards);
   return report;
 }
@@ -368,6 +375,67 @@ PpoAgent::MinibatchStats PpoAgent::run_update_epochs(
   return last_stats;
 }
 
+void PpoAgent::accumulate_sample(const Transition& t, double inv_batch,
+                                 std::span<double> actor_grads,
+                                 std::span<double> critic_grads,
+                                 std::span<double> log_std_grads,
+                                 std::span<double> stats_terms,
+                                 GradWorkspace& ws) const {
+  const Vec& head = actor_.forward(t.observation, ws.actor);
+
+  double log_prob_new = 0.0;
+  if (discrete()) {
+    log_prob_new =
+        Categorical::log_prob(head, static_cast<std::size_t>(t.action[0]));
+  } else {
+    log_prob_new = DiagGaussian::log_prob(head, log_std_, t.action);
+  }
+  const double ratio = std::exp(log_prob_new - t.log_prob);
+  const double clipped_ratio =
+      std::clamp(ratio, 1.0 - config_.clip_range, 1.0 + config_.clip_range);
+  const double surr1 = ratio * t.advantage;
+  const double surr2 = clipped_ratio * t.advantage;
+  stats_terms[0] += -std::min(surr1, surr2) * inv_batch;
+
+  // Policy gradient flows only where the unclipped surrogate is active.
+  const double dloss_dlogp = (surr1 <= surr2) ? -t.advantage * ratio : 0.0;
+
+  Vec head_grad(head.size(), 0.0);
+  if (discrete()) {
+    const auto a = static_cast<std::size_t>(t.action[0]);
+    const Vec logp_grad = Categorical::log_prob_grad(head, a);
+    const Vec ent_grad = Categorical::entropy_grad(head);
+    stats_terms[2] += Categorical::entropy(head) * inv_batch;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      head_grad[i] = (dloss_dlogp * logp_grad[i] -
+                      config_.ent_coef * ent_grad[i]) *
+                     inv_batch;
+    }
+  } else {
+    const Vec logp_grad_mean =
+        DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
+    const Vec logp_grad_ls =
+        DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
+    stats_terms[2] += DiagGaussian::entropy(log_std_) * inv_batch;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      head_grad[i] = dloss_dlogp * logp_grad_mean[i] * inv_batch;
+    }
+    // dH/dlog_std = 1 per dimension.
+    for (std::size_t i = 0; i < log_std_.size(); ++i) {
+      log_std_grads[i] += (dloss_dlogp * logp_grad_ls[i] -
+                           config_.ent_coef * 1.0) *
+                          inv_batch;
+    }
+  }
+  actor_.backward(head_grad, ws.actor, actor_grads);
+
+  const double v = critic_.forward(t.observation, ws.critic)[0];
+  const double v_err = v - t.return_;
+  stats_terms[1] += 0.5 * v_err * v_err * inv_batch;
+  critic_.backward({config_.vf_coef * v_err * inv_batch}, ws.critic,
+                   critic_grads);
+}
+
 PpoAgent::MinibatchStats PpoAgent::update_minibatch(
     const RolloutBuffer& buffer, const std::vector<std::size_t>& indices,
     std::size_t begin, std::size_t end) {
@@ -376,63 +444,56 @@ PpoAgent::MinibatchStats PpoAgent::update_minibatch(
   for (auto& g : log_std_grad_) g = 0.0;
 
   MinibatchStats stats;
-  const auto batch_size = static_cast<double>(end - begin);
-  const double inv_batch = 1.0 / batch_size;
+  const std::size_t m = end - begin;
+  const double inv_batch = 1.0 / static_cast<double>(m);
 
-  for (std::size_t k = begin; k < end; ++k) {
-    const Transition& t = buffer[indices[k]];
-    const Vec& head = actor_.forward(t.observation);
-
-    double log_prob_new = 0.0;
-    if (discrete()) {
-      log_prob_new =
-          Categorical::log_prob(head, static_cast<std::size_t>(t.action[0]));
-    } else {
-      log_prob_new = DiagGaussian::log_prob(head, log_std_, t.action);
+  if (pool_ != nullptr && pool_->thread_count() > 1 && m > 1) {
+    // Shadow-buffer path: each sample gets a private gradient slot, computed
+    // against the shared read-only parameters, then slots are reduced here
+    // in sample-index order. Every sample contributes exactly one term per
+    // parameter (one rank-1 update per weight, one add per bias and per
+    // log_std entry), so slot_k == the sequential path's k-th addend and the
+    // ordered reduction reproduces its left-to-right accumulation exactly.
+    const std::size_t ap = actor_.param_count();
+    const std::size_t cp = critic_.param_count();
+    const std::size_t ls = log_std_.size();
+    const std::size_t stride = ap + cp + ls;
+    shadow_grads_.resize(m * stride);
+    shadow_stats_.resize(m * 3);
+    if (sample_ws_.size() < m) sample_ws_.resize(m);
+    pool_->parallel_for(m, [&](std::size_t k) {
+      double* slot = shadow_grads_.data() + k * stride;
+      std::fill(slot, slot + stride, 0.0);
+      double* st = shadow_stats_.data() + k * 3;
+      std::fill(st, st + 3, 0.0);
+      accumulate_sample(buffer[indices[begin + k]], inv_batch,
+                        {slot, ap}, {slot + ap, cp}, {slot + ap + cp, ls},
+                        {st, 3}, sample_ws_[k]);
+    });
+    auto ag = actor_.grads();
+    auto cg = critic_.grads();
+    for (std::size_t k = 0; k < m; ++k) {
+      const double* slot = shadow_grads_.data() + k * stride;
+      for (std::size_t i = 0; i < ap; ++i) ag[i] += slot[i];
+      for (std::size_t i = 0; i < cp; ++i) cg[i] += slot[ap + i];
+      for (std::size_t i = 0; i < ls; ++i) {
+        log_std_grad_[i] += slot[ap + cp + i];
+      }
+      const double* st = shadow_stats_.data() + k * 3;
+      stats.policy_loss += st[0];
+      stats.value_loss += st[1];
+      stats.entropy += st[2];
     }
-    const double ratio = std::exp(log_prob_new - t.log_prob);
-    const double clipped_ratio =
-        std::clamp(ratio, 1.0 - config_.clip_range, 1.0 + config_.clip_range);
-    const double surr1 = ratio * t.advantage;
-    const double surr2 = clipped_ratio * t.advantage;
-    stats.policy_loss += -std::min(surr1, surr2) * inv_batch;
-
-    // Policy gradient flows only where the unclipped surrogate is active.
-    const double dloss_dlogp = (surr1 <= surr2) ? -t.advantage * ratio : 0.0;
-
-    Vec head_grad(head.size(), 0.0);
-    if (discrete()) {
-      const auto a = static_cast<std::size_t>(t.action[0]);
-      const Vec logp_grad = Categorical::log_prob_grad(head, a);
-      const Vec ent_grad = Categorical::entropy_grad(head);
-      stats.entropy += Categorical::entropy(head) * inv_batch;
-      for (std::size_t i = 0; i < head.size(); ++i) {
-        head_grad[i] = (dloss_dlogp * logp_grad[i] -
-                        config_.ent_coef * ent_grad[i]) *
-                       inv_batch;
-      }
-    } else {
-      const Vec logp_grad_mean =
-          DiagGaussian::log_prob_grad_mean(head, log_std_, t.action);
-      const Vec logp_grad_ls =
-          DiagGaussian::log_prob_grad_log_std(head, log_std_, t.action);
-      stats.entropy += DiagGaussian::entropy(log_std_) * inv_batch;
-      for (std::size_t i = 0; i < head.size(); ++i) {
-        head_grad[i] = dloss_dlogp * logp_grad_mean[i] * inv_batch;
-      }
-      // dH/dlog_std = 1 per dimension.
-      for (std::size_t i = 0; i < log_std_.size(); ++i) {
-        log_std_grad_[i] += (dloss_dlogp * logp_grad_ls[i] -
-                             config_.ent_coef * 1.0) *
-                            inv_batch;
-      }
+  } else {
+    if (sample_ws_.empty()) sample_ws_.resize(1);
+    for (std::size_t k = begin; k < end; ++k) {
+      double terms[3] = {0.0, 0.0, 0.0};
+      accumulate_sample(buffer[indices[k]], inv_batch, actor_.grads(),
+                        critic_.grads(), log_std_grad_, terms, sample_ws_[0]);
+      stats.policy_loss += terms[0];
+      stats.value_loss += terms[1];
+      stats.entropy += terms[2];
     }
-    actor_.backward(head_grad);
-
-    const double v = critic_.forward(t.observation)[0];
-    const double v_err = v - t.return_;
-    stats.value_loss += 0.5 * v_err * v_err * inv_batch;
-    critic_.backward({config_.vf_coef * v_err * inv_batch});
   }
 
   // Global gradient-norm clip across actor, critic, and log_std.

@@ -14,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "rl/rollout.hpp"
 #include "rl/vec_env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace netadv::rl {
 
@@ -80,6 +82,21 @@ class PpoAgent final : public Agent {
   TrainReport train(VecEnv& venv, std::size_t total_steps,
                     const TrainCallback& callback = nullptr);
 
+  /// Attach a pool for shadow-buffer minibatch gradients (nullptr restores
+  /// the sequential path).
+  ///
+  /// Determinism contract: with a pool attached, each minibatch sample's
+  /// gradient is computed into a private per-sample shadow buffer against
+  /// the (read-only) current parameters, then the shadow buffers are reduced
+  /// on the calling thread in sample-index order. Because every sample
+  /// contributes exactly one accumulation term per parameter, the reduction
+  /// reproduces the sequential left-to-right float accumulation bit for bit:
+  /// trained parameters are byte-identical at any pool size, including no
+  /// pool at all. The pool is borrowed, not owned — it must outlive every
+  /// train() call.
+  void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
+  util::ThreadPool* thread_pool() const noexcept { return pool_; }
+
   const PpoConfig& config() const noexcept { return config_; }
   const ActionSpec& action_spec() const noexcept override { return action_spec_; }
   std::size_t observation_size() const noexcept override { return obs_size_; }
@@ -107,6 +124,23 @@ class PpoAgent final : public Agent {
     double value_loss = 0.0;
     double entropy = 0.0;
   };
+  /// Activation caches for one concurrent per-sample gradient task.
+  struct GradWorkspace {
+    Mlp::Workspace actor;
+    Mlp::Workspace critic;
+  };
+  /// One sample's loss terms and parameter gradients, *accumulated* into the
+  /// caller's buffers (actor/critic grads, log_std grad, and the three
+  /// MinibatchStats terms in stats_terms). Const — reads parameters only —
+  /// so tasks with distinct buffers can run it concurrently. Sequential and
+  /// shadow-buffer minibatches both run exactly this routine, which is what
+  /// makes them bit-identical.
+  void accumulate_sample(const Transition& t, double inv_batch,
+                         std::span<double> actor_grads,
+                         std::span<double> critic_grads,
+                         std::span<double> log_std_grads,
+                         std::span<double> stats_terms,
+                         GradWorkspace& ws) const;
   MinibatchStats update_minibatch(const RolloutBuffer& buffer,
                                   const std::vector<std::size_t>& indices,
                                   std::size_t begin, std::size_t end);
@@ -129,6 +163,13 @@ class PpoAgent final : public Agent {
 
   RunningNormalizer obs_normalizer_;
   ReturnNormalizer return_normalizer_;
+
+  // Shadow-buffer minibatch scratch (see set_thread_pool). Not part of the
+  // agent's logical state; copied agents just get fresh scratch.
+  util::ThreadPool* pool_ = nullptr;
+  std::vector<double> shadow_grads_;   // per-sample [actor|critic|log_std]
+  std::vector<double> shadow_stats_;   // per-sample 3 loss terms
+  std::vector<GradWorkspace> sample_ws_;
 };
 
 }  // namespace netadv::rl

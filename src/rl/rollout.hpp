@@ -2,6 +2,12 @@
 // (Schulman et al., 2016). The PPO trainer fills one buffer per iteration,
 // calls compute_advantages() with the bootstrap value, then consumes
 // shuffled minibatches for several epochs.
+//
+// Determinism contract: everything here runs on the calling thread. The GAE
+// passes are sequential backward scans, and shuffled_indices() derives its
+// permutation only from the caller's Rng state — so the minibatch sample
+// order (the order the shadow-gradient path reduces in, see rl/ppo.hpp) is a
+// pure function of the seed, never of the thread count.
 #pragma once
 
 #include <cstddef>
@@ -48,7 +54,9 @@ class RolloutBuffer {
   void compute_advantages_segmented(const std::vector<double>& last_values,
                                     double gamma, double lambda);
 
-  /// A random permutation of [0, size()) for minibatching.
+  /// A random permutation of [0, size()) for minibatching. Fisher–Yates on
+  /// the caller's rng: the permutation depends only on the rng state, so
+  /// every epoch's minibatch composition is reproducible from the seed.
   std::vector<std::size_t> shuffled_indices(util::Rng& rng) const;
 
  private:

@@ -60,6 +60,9 @@ class VecEnv {
   const StepBatch& step(const std::vector<Vec>& actions);
 
   Env& env(std::size_t i) { return *envs_.at(i); }
+  /// Pool the replicas are stepped on (nullptr = sequential). PPO training
+  /// borrows it for shadow-buffer minibatch gradients too.
+  util::ThreadPool* pool() const noexcept { return pool_; }
   /// Replica i's private stream — also the right stream for sampling the
   /// action fed to replica i, keeping the whole (sample, step) pair on one
   /// per-replica sequence.

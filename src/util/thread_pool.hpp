@@ -43,11 +43,21 @@ class ThreadPool {
   /// Run body(i) for every i in [0, n); blocks until all complete. The first
   /// exception thrown by any task is rethrown on the calling thread after
   /// the whole batch has drained. Reentrant calls (a task calling
-  /// parallel_for on the same pool) run the nested batch inline.
+  /// parallel_for on the same pool) run the nested batch inline on the
+  /// worker — sequentially, with no extra threads.
+  ///
+  /// Determinism contract: indices are handed out dynamically, so `body`
+  /// must confine its writes to state owned by index i (its own output
+  /// slot, its own pre-forked RNG stream, its own workspace). Under that
+  /// rule the outcome of a batch is a pure function of the inputs —
+  /// bit-identical at 1, 2, or N threads and across OS schedules.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// parallel_for that collects fn(i) into a vector indexed by i — the
-  /// ordered reduction used by every deterministic fan-out in netadv.
+  /// ordered reduction used by every deterministic fan-out in netadv. The
+  /// result type must be default-constructible (slots are built up front);
+  /// fan-outs of non-default-constructible values (e.g. trained PpoAgents)
+  /// use parallel_for over a vector of std::optional slots instead.
   template <typename Fn>
   auto parallel_map(std::size_t n, Fn&& fn)
       -> std::vector<std::decay_t<std::invoke_result_t<Fn&, std::size_t>>> {

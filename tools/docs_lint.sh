@@ -1,0 +1,38 @@
+#!/bin/sh
+# docs-lint: keep EXPERIMENTS.md and the bench registry in sync.
+#
+# Fails if (a) EXPERIMENTS.md references a bench_* target that bench.cmake
+# does not register, or (b) a registered bench binary is never mentioned in
+# EXPERIMENTS.md — so every figure/table keeps a runnable command and no
+# documented command can rot. Registered as the `docs_lint` ctest and run as
+# its own CI lane.
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$root/EXPERIMENTS.md"
+registry="$root/bench/bench.cmake"
+
+registered="$(sed -n 's/^netadv_add_bench(\([a-z0-9_]*\)).*/\1/p' "$registry" | sort -u)"
+# bench_out (the artifact dir) and bench_common (the shared library) are
+# legitimate non-target mentions.
+referenced="$(grep -o 'bench_[a-z0-9_]*' "$doc" | sort -u |
+              grep -v -e '^bench_out$' -e '^bench_common$' || true)"
+
+status=0
+for b in $referenced; do
+  if ! printf '%s\n' "$registered" | grep -qx "$b"; then
+    echo "docs-lint: EXPERIMENTS.md references '$b' but bench/bench.cmake does not register it" >&2
+    status=1
+  fi
+done
+for b in $registered; do
+  if ! printf '%s\n' "$referenced" | grep -qx "$b"; then
+    echo "docs-lint: '$b' is registered in bench/bench.cmake but EXPERIMENTS.md never documents it" >&2
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "docs-lint: OK ($(printf '%s\n' "$registered" | wc -l | tr -d ' ') bench targets cross-checked)"
+fi
+exit "$status"
