@@ -5,11 +5,12 @@
 //
 // After the google-benchmark suites, main() measures the parallel execution
 // layer directly — trace replay, VecEnv rollout, shadow-buffer PPO gradient
-// updates, and a miniature Figure-1 pipeline (concurrent adversary training +
-// batch trace recording) at 1/2/N threads — and drops the numbers as
-// bench_out/BENCH_parallel.json so the perf trajectory of the threading work
-// is tracked across PRs. Every section also re-checks the determinism
-// contract: results at N threads must be bit-identical to 1 thread.
+// updates, a miniature Figure-1 pipeline (concurrent adversary training +
+// batch trace recording) at 1/2/N threads, and the scalar-vs-AVX2 MLP math
+// kernels — and drops the numbers as bench_out/BENCH_parallel.json so the
+// perf trajectory of the threading and SIMD work is tracked across PRs.
+// Every section also re-checks the determinism contract: results at N
+// threads (and on either kernel backend) must be bit-identical.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -30,6 +31,7 @@
 #include "core/cc_adversary.hpp"
 #include "core/recorder.hpp"
 #include "core/trainer.hpp"
+#include "rl/kernels.hpp"
 #include "rl/toy_envs.hpp"
 #include "rl/vec_env.hpp"
 #include "trace/generators.hpp"
@@ -432,6 +434,91 @@ void write_parallel_artifact() {
     }
   }
 
+  // --- kernels: scalar vs AVX2 backends of the MLP math kernels. Direct
+  // backend calls (no dispatch flip), so both are timed in one process and
+  // the outputs can be compared bit for bit — the same identity the
+  // test_kernels suite gates on. ---
+  struct KernelSample {
+    const char* name = "";
+    double scalar_seconds = 0.0;
+    double simd_seconds = 0.0;
+    bool bit_identical = true;
+  };
+  std::vector<KernelSample> kernel_samples;
+  {
+    util::Rng krng{77};
+    const std::size_t kr = 64, kc = 64, kb = 256;
+    rl::Vec kw(kr * kc), kb_bias(kr), kx(kc), kxb(kb * kc);
+    for (auto& v : kw) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kb_bias) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kx) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kxb) v = krng.uniform(-1.0, 1.0);
+
+    {
+      KernelSample s;
+      s.name = "gemm_64x64_batch256";
+      rl::Vec ys(kb * kr, 0.0), yv(kb * kr, 0.0);
+      const std::size_t reps = 40;
+      s.scalar_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::scalar::gemm(kw, kr, kc, kxb, kb, kb_bias, ys);
+        }
+      });
+      s.simd_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::avx2::gemm(kw, kr, kc, kxb, kb, kb_bias, yv);
+        }
+      });
+      s.bit_identical = (ys == yv);
+      kernel_samples.push_back(s);
+    }
+    {
+      KernelSample s;
+      s.name = "gemv_64x64";
+      rl::Vec ys(kr, 0.0), yv(kr, 0.0);
+      const std::size_t reps = 20000;
+      s.scalar_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::scalar::gemv(kw, kr, kc, kx, kb_bias, ys);
+        }
+      });
+      s.simd_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::avx2::gemv(kw, kr, kc, kx, kb_bias, yv);
+        }
+      });
+      s.bit_identical = (ys == yv);
+      kernel_samples.push_back(s);
+    }
+    {
+      KernelSample s;
+      s.name = "dot_4096";
+      rl::Vec a(4096), c(4096);
+      for (auto& v : a) v = krng.uniform(-1.0, 1.0);
+      for (auto& v : c) v = krng.uniform(-1.0, 1.0);
+      double rs = 0.0, rv = 0.0;
+      const std::size_t reps = 20000;
+      s.scalar_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) rs += rl::kernels::scalar::dot(a, c);
+      });
+      s.simd_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) rv += rl::kernels::avx2::dot(a, c);
+      });
+      s.bit_identical = (rs == rv);
+      kernel_samples.push_back(s);
+    }
+  }
+  const bool kernel_simd_available =
+      rl::kernels::avx2_compiled() && rl::kernels::avx2_runtime_supported();
+  bool kernel_identical = true;
+  for (const auto& s : kernel_samples) kernel_identical &= s.bit_identical;
+  double kernel_gemm_speedup = 0.0;
+  for (const auto& s : kernel_samples) {
+    if (std::string{s.name}.rfind("gemm", 0) == 0 && s.simd_seconds > 0.0) {
+      kernel_gemm_speedup = s.scalar_seconds / s.simd_seconds;
+    }
+  }
+
   const auto speedup = [](const std::vector<ThreadSample>& samples) {
     double best = 0.0;
     for (const auto& s : samples) {
@@ -479,6 +566,27 @@ void write_parallel_artifact() {
   std::fprintf(f, "  \"fig_pipeline_results_identical\": %s,\n",
                pipeline_identical ? "true" : "false");
   write_samples("fig_pipeline", pipeline_samples, "traces_per_s");
+  std::fprintf(f, "  \"kernel_backend_active\": \"%s\",\n",
+               rl::kernels::backend_name());
+  std::fprintf(f, "  \"kernel_avx2_available\": %s,\n",
+               kernel_simd_available ? "true" : "false");
+  std::fprintf(f, "  \"kernel_results_identical\": %s,\n",
+               kernel_identical ? "true" : "false");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < kernel_samples.size(); ++i) {
+    const auto& s = kernel_samples[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scalar_seconds\": %.6f, "
+                 "\"avx2_seconds\": %.6f, \"speedup\": %.3f, "
+                 "\"bit_identical\": %s}%s\n",
+                 s.name, s.scalar_seconds, s.simd_seconds,
+                 s.simd_seconds > 0.0 ? s.scalar_seconds / s.simd_seconds : 0.0,
+                 s.bit_identical ? "true" : "false",
+                 i + 1 < kernel_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kernel_gemm_speedup_scalar_to_avx2\": %.3f,\n",
+               kernel_gemm_speedup);
   std::fprintf(f, "  \"replay_speedup_vs_1_thread\": %.3f,\n",
                speedup(replay_samples));
   std::fprintf(f, "  \"rollout_speedup_vs_1_thread\": %.3f,\n",
@@ -491,11 +599,13 @@ void write_parallel_artifact() {
   std::fclose(f);
   util::log_info("BENCH_parallel: wrote %s (replay %.2fx, rollout %.2fx, "
                  "gradient %.2fx, fig pipeline %.2fx at %zu threads; "
-                 "all results identical: %s)",
+                 "gemm scalar->%s %.2fx; all results identical: %s)",
                  path.c_str(), speedup(replay_samples),
                  speedup(rollout_samples), speedup(gradient_samples),
-                 speedup(pipeline_samples), hw,
-                 replay_identical && gradient_identical && pipeline_identical
+                 speedup(pipeline_samples), hw, rl::kernels::backend_name(),
+                 kernel_gemm_speedup,
+                 replay_identical && gradient_identical &&
+                         pipeline_identical && kernel_identical
                      ? "yes"
                      : "NO");
 }

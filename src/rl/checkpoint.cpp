@@ -35,7 +35,7 @@ void save_checkpoint(const PpoAgent& agent, const std::string& path) {
   std::ofstream out{path};
   if (!out) throw std::runtime_error{"save_checkpoint: cannot open " + path};
 
-  out << "netadv-ppo-checkpoint v1\n";
+  out << "netadv-ppo-checkpoint v2\n";
   out << "obs_size " << agent.observation_size() << '\n';
   const auto& spec = agent.action_spec();
   if (spec.type == ActionType::kDiscrete) {
@@ -47,7 +47,8 @@ void save_checkpoint(const PpoAgent& agent, const std::string& path) {
   write_vector(out, "critic", agent.critic().params());
   write_vector(out, "log_std", agent.log_std());
   write_vector(out, "obs_mean", agent.obs_normalizer().mean());
-  write_vector(out, "obs_var", agent.obs_normalizer().variance());
+  // Raw Welford m2, not variance: exact round trip (see checkpoint.hpp).
+  write_vector(out, "obs_m2", agent.obs_normalizer().m2());
   out << "obs_count " << agent.obs_normalizer().count() << '\n';
   if (!out) throw std::runtime_error{"save_checkpoint: write failed for " + path};
 }
@@ -59,7 +60,7 @@ void load_checkpoint(PpoAgent& agent, const std::string& path) {
   std::string magic;
   std::string version;
   if (!(in >> magic >> version) || magic != "netadv-ppo-checkpoint" ||
-      version != "v1") {
+      (version != "v1" && version != "v2")) {
     throw std::runtime_error{"load_checkpoint: bad header in " + path};
   }
 
@@ -101,13 +102,18 @@ void load_checkpoint(PpoAgent& agent, const std::string& path) {
   agent.log_std() = log_std;
 
   auto obs_mean = read_vector(in, "obs_mean");
-  auto obs_var = read_vector(in, "obs_var");
+  auto obs_second = read_vector(in, version == "v2" ? "obs_m2" : "obs_var");
   std::size_t obs_count = 0;
   if (!(in >> key >> obs_count) || key != "obs_count") {
     throw std::runtime_error{"load_checkpoint: missing obs_count"};
   }
-  agent.obs_normalizer().restore(std::move(obs_mean), std::move(obs_var),
-                                 obs_count);
+  if (version == "v2") {
+    agent.obs_normalizer().restore_moments(std::move(obs_mean),
+                                           std::move(obs_second), obs_count);
+  } else {
+    agent.obs_normalizer().restore(std::move(obs_mean), std::move(obs_second),
+                                   obs_count);
+  }
 }
 
 }  // namespace netadv::rl

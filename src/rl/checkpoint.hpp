@@ -3,6 +3,11 @@
 // Benches train an adversary once and reuse it; examples load shipped
 // policies. The format is a line-oriented key/value text file so diffs and
 // debugging stay humane.
+//
+// Format versions: v2 (written) stores the normalizer's raw second moment
+// (obs_m2), making save -> load -> save a byte-identical round trip; v1
+// (still loadable — cached bench adversaries ship in it) stored variance,
+// whose 1/(n-1) scaling does not invert bit-exactly.
 #pragma once
 
 #include <string>

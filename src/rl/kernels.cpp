@@ -1,0 +1,239 @@
+// Scalar reference implementation of the canonical 4-lane fma accumulation
+// order (see kernels.hpp) plus the runtime backend dispatch. This TU is
+// compiled without ISA-specific flags so the binary runs on any x86-64 (or
+// non-x86) host; std::fma is correctly rounded everywhere, which is what
+// makes it bit-identical to the AVX2 FMA path.
+#include "rl/kernels.hpp"
+
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/log.hpp"
+
+namespace netadv::rl::kernels {
+
+namespace {
+
+/// Canonical dot product: kLanes interleaved fma partial sums, combined in
+/// the fixed tree (l0 + l1) + (l2 + l3). The single source of truth for the
+/// accumulation order; the AVX2 kernel computes exactly this.
+inline double dot_canonical(const double* a, const double* b,
+                            std::size_t n) noexcept {
+  double lane[kLanes] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    lane[i % kLanes] = std::fma(a[i], b[i], lane[i % kLanes]);
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+}  // namespace
+
+namespace scalar {
+
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == cols);
+  assert(b.size() == rows);
+  assert(y.size() == rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    y[r] = b[r] + dot_canonical(w.data() + r * cols, x.data(), cols);
+  }
+}
+
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == batch * cols);
+  assert(b.size() == rows);
+  assert(y.size() == batch * rows);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* xn = x.data() + n * cols;
+    double* yn = y.data() + n * rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      yn[r] = b[r] + dot_canonical(w.data() + r * cols, xn, cols);
+    }
+  }
+}
+
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(y.size() == cols);
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = w.data() + r * cols;
+    const double gr = g[r];
+    for (std::size_t c = 0; c < cols; ++c) {
+      y[c] = std::fma(row[c], gr, y[c]);
+    }
+  }
+}
+
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(x.size() == cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = w.data() + r * cols;
+    const double gr = g[r];
+    // Mul-then-add on purpose — see the rank1_update contract in kernels.hpp.
+    for (std::size_t c = 0; c < cols; ++c) {
+      row[c] += gr * x[c];
+    }
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  return dot_canonical(a.data(), b.data(), a.size());
+}
+
+}  // namespace scalar
+
+#ifndef NETADV_HAVE_AVX2
+// NETADV_SIMD=off build: keep the avx2:: names linkable so tests and benches
+// can always call them; they degrade to the (bit-identical) scalar kernels.
+namespace avx2 {
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y) {
+  scalar::gemv(w, rows, cols, x, b, y);
+}
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y) {
+  scalar::gemm(w, rows, cols, x, batch, b, y);
+}
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y) {
+  scalar::gemv_transposed(w, rows, cols, g, y);
+}
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x) {
+  scalar::rank1_update(w, rows, cols, g, x);
+}
+double dot(std::span<const double> a, std::span<const double> b) {
+  return scalar::dot(a, b);
+}
+}  // namespace avx2
+#endif  // !NETADV_HAVE_AVX2
+
+bool avx2_compiled() noexcept {
+#ifdef NETADV_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_runtime_supported() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Backend resolve_initial_backend() noexcept {
+  const bool capable = avx2_compiled() && avx2_runtime_supported();
+  const char* env = std::getenv("NETADV_SIMD");
+  if (env != nullptr && std::strcmp(env, "off") == 0) return Backend::kScalar;
+  if (env != nullptr && std::strcmp(env, "avx2") == 0) {
+    if (!capable) {
+      util::log_warn("NETADV_SIMD=avx2 requested but %s; using scalar kernels",
+                     avx2_compiled() ? "the CPU lacks AVX2/FMA"
+                                     : "AVX2 was compiled out");
+      return Backend::kScalar;
+    }
+    return Backend::kAvx2;
+  }
+  if (env != nullptr && std::strcmp(env, "auto") != 0 &&
+      std::strcmp(env, "") != 0) {
+    util::log_warn("NETADV_SIMD='%s' not recognized (off | avx2 | auto); "
+                   "using auto",
+                   env);
+  }
+  return capable ? Backend::kAvx2 : Backend::kScalar;
+}
+
+std::atomic<Backend>& backend_slot() noexcept {
+  static std::atomic<Backend> slot{resolve_initial_backend()};
+  return slot;
+}
+
+}  // namespace
+
+Backend active_backend() noexcept {
+  return backend_slot().load(std::memory_order_relaxed);
+}
+
+const char* backend_name() noexcept {
+  return active_backend() == Backend::kAvx2 ? "avx2" : "scalar";
+}
+
+Backend set_backend(Backend backend) noexcept {
+  if (backend == Backend::kAvx2 &&
+      !(avx2_compiled() && avx2_runtime_supported())) {
+    backend = Backend::kScalar;
+  }
+  backend_slot().store(backend, std::memory_order_relaxed);
+  return backend;
+}
+
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::gemv(w, rows, cols, x, b, y);
+  } else {
+    scalar::gemv(w, rows, cols, x, b, y);
+  }
+}
+
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::gemm(w, rows, cols, x, batch, b, y);
+  } else {
+    scalar::gemm(w, rows, cols, x, batch, b, y);
+  }
+}
+
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::gemv_transposed(w, rows, cols, g, y);
+  } else {
+    scalar::gemv_transposed(w, rows, cols, g, y);
+  }
+}
+
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x) {
+  if (active_backend() == Backend::kAvx2) {
+    avx2::rank1_update(w, rows, cols, g, x);
+  } else {
+    scalar::rank1_update(w, rows, cols, g, x);
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  return active_backend() == Backend::kAvx2 ? avx2::dot(a, b)
+                                            : scalar::dot(a, b);
+}
+
+}  // namespace netadv::rl::kernels

@@ -1,0 +1,134 @@
+// Vectorized math kernels for the MLP core (gemv, gemm, transposed gemv,
+// rank-1 update, dot) behind runtime CPU dispatch, preserving the repo's
+// bit-exactness contract.
+//
+// The canonical accumulation order
+// --------------------------------
+// Floating-point addition is not associative, so a vectorized reduction that
+// sums in a different order than the scalar loop would break the determinism
+// contract (DESIGN.md §7): trained parameters must be bit-identical across
+// ISAs and NETADV_THREADS. Instead of forcing SIMD to mimic a serial sum,
+// the *canonical* order is defined to be the one SIMD computes naturally —
+// kLanes (= 4, the AVX2 double width) interleaved partial sums combined in a
+// fixed tree:
+//
+//   lane[i % 4] = fma(a[i], b[i], lane[i % 4])      for i = 0 .. n-1
+//   total       = (lane[0] + lane[1]) + (lane[2] + lane[3])
+//
+// Every accumulation step is a *fused* multiply-add (one rounding), because
+// that is what AVX2 FMA hardware executes; the scalar fallback uses
+// std::fma, which is correctly rounded by IEEE 754 and therefore
+// bit-identical to the hardware instruction. Element-wise kernels
+// (gemv_transposed, rank1_update) have no cross-lane reduction at all —
+// each output element accumulates in the same per-element order either way
+// — so they are bit-identical by construction. rank1_update deliberately
+// uses mul-then-add (two roundings) rather than fma: the gradient buffer it
+// accumulates into is reduced across samples by plain addition in the
+// parallel shadow-slot path (DESIGN.md §7), and only separate rounding of
+// the product keeps in-place accumulation equal to slot-then-reduce.
+//
+// Both backends are always available by name (`kernels::scalar`,
+// `kernels::avx2`); the unqualified entry points dispatch through the active
+// backend, chosen at first use from (a) whether AVX2 code was compiled in
+// (CMake knob NETADV_SIMD=off|avx2), (b) whether the CPU supports AVX2+FMA,
+// and (c) the NETADV_SIMD environment variable (off | avx2 | auto). When
+// AVX2 is compiled out or unsupported, `kernels::avx2::*` forwards to the
+// scalar implementation, so callers never need to guard.
+//
+// One-time break: adopting this canonical order changed the results of every
+// accumulation-based kernel relative to the pre-SIMD serial order, so golden
+// values from runs before this layer existed shift once (and never again).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace netadv::rl::kernels {
+
+/// Number of interleaved partial sums in the canonical reduction order
+/// (the AVX2 register width in doubles).
+inline constexpr std::size_t kLanes = 4;
+
+enum class Backend { kScalar, kAvx2 };
+
+/// True if the AVX2 translation unit was compiled in (NETADV_SIMD=avx2).
+bool avx2_compiled() noexcept;
+
+/// True if the running CPU supports AVX2 and FMA.
+bool avx2_runtime_supported() noexcept;
+
+/// The backend the unqualified kernels currently dispatch to.
+Backend active_backend() noexcept;
+
+/// Human-readable name of the active backend ("scalar" or "avx2").
+const char* backend_name() noexcept;
+
+/// Force a backend (tests and benches). Requesting kAvx2 when it is not
+/// compiled in or not supported by the CPU selects kScalar instead; returns
+/// the backend actually activated. Safe to call between parallel regions;
+/// the active backend is read atomically by the kernels.
+Backend set_backend(Backend backend) noexcept;
+
+// ---------------------------------------------------------------------------
+// Dispatched entry points. Semantics and bit-exact results are identical
+// across backends; only wall-clock differs.
+
+/// y = W x + b, W row-major (rows x cols). Per row: bias + canonical dot.
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y);
+
+/// Batched forward: Y = X W^T + 1 b^T with X (batch x cols) and Y
+/// (batch x rows), each output element computed exactly like gemv's.
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y);
+
+/// y = W^T g. Element-wise fma accumulation over rows (no lane reduction).
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y);
+
+/// W += g x^T. Element-wise mul-then-add (NOT fma): the two-rounding form
+/// makes in-place accumulation across samples bit-equal to the parallel
+/// shadow-slot reduce, which sums per-sample products with plain adds.
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x);
+
+/// Canonical 4-lane dot product; requires equal sizes.
+double dot(std::span<const double> a, std::span<const double> b);
+
+// ---------------------------------------------------------------------------
+// Named backends, for bit-identity tests and the kernel micro-bench.
+
+namespace scalar {
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y);
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y);
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y);
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x);
+double dot(std::span<const double> a, std::span<const double> b);
+}  // namespace scalar
+
+namespace avx2 {
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y);
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y);
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y);
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x);
+double dot(std::span<const double> a, std::span<const double> b);
+}  // namespace avx2
+
+}  // namespace netadv::rl::kernels

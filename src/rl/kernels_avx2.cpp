@@ -1,0 +1,128 @@
+// AVX2+FMA implementation of the canonical 4-lane accumulation order
+// (kernels.hpp). This is the only translation unit compiled with
+// -mavx2 -mfma; it must stay free of code that runs before the runtime
+// dispatch check, and everything here must compute exactly the canonical
+// order so results are bit-identical to kernels.cpp's scalar path:
+//
+//  * reductions: one 256-bit accumulator whose lane j holds the partial sum
+//    of elements i with i % 4 == j (a contiguous 4-wide load puts a[i + j]
+//    in lane j), tail elements folded into lanes 0..tail-1 by scalar fma,
+//    lanes combined as (l0 + l1) + (l2 + l3);
+//  * element-wise kernels: same per-element operation and order as the
+//    scalar loop (vectorization only batches independent elements) — vfmadd
+//    for gemv_transposed, mul-then-add for rank1_update (see kernels.hpp).
+#include "rl/kernels.hpp"
+
+#ifdef NETADV_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cassert>
+#include <cmath>
+
+namespace netadv::rl::kernels::avx2 {
+
+namespace {
+
+/// Canonical dot product, AVX2 edition. Matches kernels.cpp's
+/// dot_canonical bit for bit (see file comment).
+inline double dot_canonical_avx2(const double* a, const double* b,
+                                 std::size_t n) noexcept {
+  __m256d acc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~static_cast<std::size_t>(3);
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i), acc);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  for (std::size_t i = n4; i < n; ++i) {
+    lane[i - n4] = std::fma(a[i], b[i], lane[i - n4]);
+  }
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+}  // namespace
+
+void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::span<const double> b,
+          std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == cols);
+  assert(b.size() == rows);
+  assert(y.size() == rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    y[r] = b[r] + dot_canonical_avx2(w.data() + r * cols, x.data(), cols);
+  }
+}
+
+void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
+          std::span<const double> x, std::size_t batch,
+          std::span<const double> b, std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(x.size() == batch * cols);
+  assert(b.size() == rows);
+  assert(y.size() == batch * rows);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const double* xn = x.data() + n * cols;
+    double* yn = y.data() + n * rows;
+    for (std::size_t r = 0; r < rows; ++r) {
+      yn[r] = b[r] + dot_canonical_avx2(w.data() + r * cols, xn, cols);
+    }
+  }
+}
+
+void gemv_transposed(std::span<const double> w, std::size_t rows,
+                     std::size_t cols, std::span<const double> g,
+                     std::span<double> y) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(y.size() == cols);
+  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
+  const std::size_t c4 = cols & ~static_cast<std::size_t>(3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* row = w.data() + r * cols;
+    const double gr = g[r];
+    const __m256d grv = _mm256_set1_pd(gr);
+    for (std::size_t c = 0; c < c4; c += 4) {
+      const __m256d yv = _mm256_loadu_pd(y.data() + c);
+      _mm256_storeu_pd(y.data() + c,
+                       _mm256_fmadd_pd(_mm256_loadu_pd(row + c), grv, yv));
+    }
+    for (std::size_t c = c4; c < cols; ++c) {
+      y[c] = std::fma(row[c], gr, y[c]);
+    }
+  }
+}
+
+void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
+                  std::span<const double> g, std::span<const double> x) {
+  assert(w.size() == rows * cols);
+  assert(g.size() == rows);
+  assert(x.size() == cols);
+  const std::size_t c4 = cols & ~static_cast<std::size_t>(3);
+  for (std::size_t r = 0; r < rows; ++r) {
+    double* row = w.data() + r * cols;
+    const double gr = g[r];
+    const __m256d grv = _mm256_set1_pd(gr);
+    // Mul-then-add on purpose (not vfmadd) — see the rank1_update contract
+    // in kernels.hpp.
+    for (std::size_t c = 0; c < c4; c += 4) {
+      const __m256d rowv = _mm256_loadu_pd(row + c);
+      _mm256_storeu_pd(
+          row + c,
+          _mm256_add_pd(rowv, _mm256_mul_pd(grv, _mm256_loadu_pd(x.data() + c))));
+    }
+    for (std::size_t c = c4; c < cols; ++c) {
+      row[c] += gr * x[c];
+    }
+  }
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  return dot_canonical_avx2(a.data(), b.data(), a.size());
+}
+
+}  // namespace netadv::rl::kernels::avx2
+
+#endif  // NETADV_HAVE_AVX2

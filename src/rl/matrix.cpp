@@ -1,75 +1,40 @@
 #include "rl/matrix.hpp"
 
-#include <cassert>
 #include <cmath>
 
+#include "rl/kernels.hpp"
+
 namespace netadv::rl {
+
+// The historical entry points delegate to the dispatched kernel layer
+// (kernels.hpp), which owns the canonical 4-lane fma accumulation order and
+// the scalar/AVX2 backend selection.
 
 void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::span<const double> b,
           std::span<double> y) {
-  assert(w.size() == rows * cols);
-  assert(x.size() == cols);
-  assert(b.size() == rows);
-  assert(y.size() == rows);
-  for (std::size_t r = 0; r < rows; ++r) {
-    double acc = b[r];
-    const double* row = w.data() + r * cols;
-    for (std::size_t c = 0; c < cols; ++c) acc += row[c] * x[c];
-    y[r] = acc;
-  }
+  kernels::gemv(w, rows, cols, x, b, y);
 }
 
 void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::size_t batch,
           std::span<const double> b, std::span<double> y) {
-  assert(w.size() == rows * cols);
-  assert(x.size() == batch * cols);
-  assert(b.size() == rows);
-  assert(y.size() == batch * rows);
-  for (std::size_t n = 0; n < batch; ++n) {
-    const double* xn = x.data() + n * cols;
-    double* yn = y.data() + n * rows;
-    for (std::size_t r = 0; r < rows; ++r) {
-      double acc = b[r];
-      const double* row = w.data() + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) acc += row[c] * xn[c];
-      yn[r] = acc;
-    }
-  }
+  kernels::gemm(w, rows, cols, x, batch, b, y);
 }
 
 void gemv_transposed(std::span<const double> w, std::size_t rows,
                      std::size_t cols, std::span<const double> g,
                      std::span<double> y) {
-  assert(w.size() == rows * cols);
-  assert(g.size() == rows);
-  assert(y.size() == cols);
-  for (std::size_t c = 0; c < cols; ++c) y[c] = 0.0;
-  for (std::size_t r = 0; r < rows; ++r) {
-    const double* row = w.data() + r * cols;
-    const double gr = g[r];
-    for (std::size_t c = 0; c < cols; ++c) y[c] += row[c] * gr;
-  }
+  kernels::gemv_transposed(w, rows, cols, g, y);
 }
 
 void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
                   std::span<const double> g, std::span<const double> x) {
-  assert(w.size() == rows * cols);
-  assert(g.size() == rows);
-  assert(x.size() == cols);
-  for (std::size_t r = 0; r < rows; ++r) {
-    double* row = w.data() + r * cols;
-    const double gr = g[r];
-    for (std::size_t c = 0; c < cols; ++c) row[c] += gr * x[c];
-  }
+  kernels::rank1_update(w, rows, cols, g, x);
 }
 
 double dot(std::span<const double> a, std::span<const double> b) {
-  assert(a.size() == b.size());
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return kernels::dot(a, b);
 }
 
 double l2_norm(std::span<const double> a) { return std::sqrt(dot(a, a)); }

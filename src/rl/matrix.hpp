@@ -1,7 +1,9 @@
 // Dense row-major matrix of doubles plus the handful of BLAS-level-2 kernels
-// the MLP needs (gemv, transposed gemv, rank-1 update). Kept deliberately
-// small: netadv's networks are tiny (tens of neurons), so clarity and
-// determinism beat vectorized sophistication.
+// the MLP needs (gemv, transposed gemv, rank-1 update). The free functions
+// here are thin wrappers over the dispatched kernel layer in kernels.hpp,
+// which implements the canonical 4-lane fma accumulation order once for the
+// scalar fallback and once with AVX2+FMA intrinsics — bit-identical across
+// backends, thread counts, and ISAs (DESIGN.md §7).
 #pragma once
 
 #include <cstddef>
@@ -50,6 +52,7 @@ class Matrix {
 
 /// y = W x + b. Requires x.size() == W.cols() (and b.size() == W.rows()).
 /// W may be given as a raw span (the MLP stores parameters contiguously).
+/// Per row: bias + the canonical 4-lane dot (kernels.hpp).
 void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::span<const double> b,
           std::span<double> y);

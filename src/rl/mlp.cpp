@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "rl/kernels.hpp"
+
 namespace netadv::rl {
 
 namespace {
@@ -90,7 +92,7 @@ const Vec& Mlp::forward(const Vec& input, Workspace& ws) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const Layer& l = layers_[i];
     ws.pre[i].assign(l.out, 0.0);
-    gemv(weight(l), l.out, l.in, ws.post[i],
+    kernels::gemv(weight(l), l.out, l.in, ws.post[i],
          {params_.data() + l.b_offset, l.out}, ws.pre[i]);
     const bool last = (i + 1 == layers_.size());
     const Activation act = last ? Activation::kIdentity : hidden_;
@@ -116,7 +118,7 @@ std::vector<Vec> Mlp::forward_batch(const std::vector<Vec>& inputs) const {
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     const Layer& l = layers_[i];
     Vec next(batch * l.out);
-    gemm(weight(l), l.out, l.in, current, batch,
+    kernels::gemm(weight(l), l.out, l.in, current, batch,
          {params_.data() + l.b_offset, l.out}, next);
     const bool last = (i + 1 == layers_.size());
     const Activation act = last ? Activation::kIdentity : hidden_;
@@ -161,13 +163,13 @@ Vec Mlp::backward(const Vec& grad_output, const Workspace& ws,
     for (std::size_t j = 0; j < l.out; ++j) {
       delta[j] *= activate_grad(act, ws.pre[idx][j], ws.post[idx + 1][j]);
     }
-    rank1_update({grads.data() + l.w_offset, l.in * l.out}, l.out, l.in, delta,
-                 ws.post[idx]);
+    kernels::rank1_update({grads.data() + l.w_offset, l.in * l.out}, l.out,
+                          l.in, delta, ws.post[idx]);
     double* bg = grads.data() + l.b_offset;
     for (std::size_t j = 0; j < l.out; ++j) bg[j] += delta[j];
 
     Vec next(l.in, 0.0);
-    gemv_transposed(weight(l), l.out, l.in, delta, next);
+    kernels::gemv_transposed(weight(l), l.out, l.in, delta, next);
     delta = std::move(next);
   }
   return delta;

@@ -56,8 +56,26 @@ void RunningNormalizer::restore(Vec mean, Vec variance, std::size_t count) {
   }
   mean_ = std::move(mean);
   count_ = count;
-  const auto n = static_cast<double>(count_ >= 2 ? count_ - 1 : 1);
+  if (count_ < 2) {
+    // With fewer than two samples Welford has accumulated no squared
+    // deviations: m2_ is identically 0 (variance() returned a placeholder 1
+    // that never came from m2_). Restoring variance * 1 here used to plant
+    // a spurious 1.0 that contaminated variance() once count_ reached 2.
+    for (auto& m2 : m2_) m2 = 0.0;
+    return;
+  }
+  const auto n = static_cast<double>(count_ - 1);
   for (std::size_t i = 0; i < m2_.size(); ++i) m2_[i] = variance[i] * n;
+}
+
+void RunningNormalizer::restore_moments(Vec mean, Vec m2, std::size_t count) {
+  if (mean.size() != mean_.size() || m2.size() != mean_.size()) {
+    throw std::invalid_argument{
+        "RunningNormalizer::restore_moments: size mismatch"};
+  }
+  mean_ = std::move(mean);
+  m2_ = std::move(m2);
+  count_ = count;
 }
 
 ReturnNormalizer::ReturnNormalizer(double gamma, double clip)

@@ -26,9 +26,20 @@ class RunningNormalizer {
   std::size_t count() const noexcept { return count_; }
   const Vec& mean() const noexcept { return mean_; }
   Vec variance() const;
+  /// Raw Welford second moment (sum of squared deviations). Checkpoints
+  /// store this instead of variance() so restore_moments() is an exact
+  /// bit-level round trip — variance() multiplies by 1/(n-1), which does
+  /// not invert exactly in floating point.
+  const Vec& m2() const noexcept { return m2_; }
 
-  /// Restore from checkpointed statistics.
+  /// Restore from checkpointed mean/variance (legacy v1 checkpoints).
+  /// Inverts variance() up to rounding; with count < 2 the internal second
+  /// moment is restored to its only possible value, 0.
   void restore(Vec mean, Vec variance, std::size_t count);
+
+  /// Restore from checkpointed mean/m2; exact inverse of mean() + m2() +
+  /// count(), bit for bit.
+  void restore_moments(Vec mean, Vec m2, std::size_t count);
 
  private:
   Vec mean_;

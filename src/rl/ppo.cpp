@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "rl/distributions.hpp"
+#include "rl/kernels.hpp"
 #include "util/log.hpp"
 
 namespace netadv::rl {
@@ -498,10 +499,9 @@ PpoAgent::MinibatchStats PpoAgent::update_minibatch(
 
   // Global gradient-norm clip across actor, critic, and log_std.
   if (config_.max_grad_norm > 0.0) {
-    double sq = 0.0;
-    for (double g : actor_.grads()) sq += g * g;
-    for (double g : critic_.grads()) sq += g * g;
-    for (double g : log_std_grad_) sq += g * g;
+    const double sq = kernels::dot(actor_.grads(), actor_.grads()) +
+                      kernels::dot(critic_.grads(), critic_.grads()) +
+                      kernels::dot(log_std_grad_, log_std_grad_);
     const double norm = std::sqrt(sq);
     if (norm > config_.max_grad_norm && norm > 0.0) {
       const double scale = config_.max_grad_norm / norm;

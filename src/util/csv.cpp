@@ -1,10 +1,30 @@
 #include "util/csv.hpp"
 
 #include <cstdio>
-#include <sstream>
 #include <stdexcept>
 
 namespace netadv::util {
+
+namespace {
+
+/// Split on ',' keeping empty cells, including a trailing one ("a,b," is
+/// three cells). std::getline(ss, cell, ',') silently drops that last empty
+/// cell, which is how ragged benchmark CSVs went unnoticed.
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) throw std::runtime_error{"CsvWriter: cannot open " + path};
@@ -32,17 +52,25 @@ CsvTable read_csv(const std::string& path) {
   CsvTable table;
   std::string line;
   bool first = true;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
-    std::stringstream ss{line};
-    std::string cell;
     if (first) {
-      while (std::getline(ss, cell, ',')) table.header.push_back(cell);
+      table.header = split_line(line);
       first = false;
       continue;
     }
+    const std::vector<std::string> cells = split_line(line);
+    if (cells.size() != table.header.size()) {
+      throw std::runtime_error{
+          "read_csv: row at line " + std::to_string(line_no) + " has " +
+          std::to_string(cells.size()) + " cells, header has " +
+          std::to_string(table.header.size()) + " in " + path};
+    }
     std::vector<double> row;
-    while (std::getline(ss, cell, ',')) {
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) {
       std::size_t pos = 0;
       double value = 0.0;
       try {

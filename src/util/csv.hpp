@@ -33,8 +33,11 @@ struct CsvTable {
   std::vector<std::vector<double>> rows;
 };
 
-/// Read a numeric CSV with a single header line. Throws std::runtime_error
-/// on missing file or non-numeric data cells.
+/// Read a numeric CSV with a single header line. Empty cells are preserved
+/// (and rejected as non-numeric) rather than silently dropped, and every
+/// data row must have exactly as many cells as the header. Throws
+/// std::runtime_error on missing file, non-numeric data cells, or
+/// ragged rows.
 CsvTable read_csv(const std::string& path);
 
 /// Format a double with up to 6 significant digits (trailing-zero trimmed).

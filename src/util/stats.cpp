@@ -53,7 +53,7 @@ double SlidingWindow::max() const noexcept {
 double SlidingWindow::harmonic_mean() const noexcept {
   if (buf_.empty()) return 0.0;
   double denom = 0.0;
-  for (double x : buf_) denom += 1.0 / x;
+  for (double x : buf_) denom += 1.0 / std::max(x, kMinHarmonicSample);
   return static_cast<double>(buf_.size()) / denom;
 }
 

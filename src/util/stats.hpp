@@ -81,7 +81,14 @@ class SlidingWindow {
   double mean() const noexcept;
   double min() const noexcept;
   double max() const noexcept;
-  /// Harmonic mean; samples must be positive. Returns 0 on empty window.
+  /// Smallest value a sample contributes to the harmonic mean as. Samples
+  /// below it (zero or negative — e.g. a download that reported 0 Mbps)
+  /// would otherwise zero out or flip the sign of the reciprocal sum.
+  static constexpr double kMinHarmonicSample = 1e-9;
+
+  /// Harmonic mean over max(sample, kMinHarmonicSample), so a non-positive
+  /// sample drags the mean toward ~0 instead of dividing by zero.
+  /// Returns 0 on empty window.
   double harmonic_mean() const noexcept;
   void clear() noexcept { buf_.clear(); }
   const std::deque<double>& values() const noexcept { return buf_; }

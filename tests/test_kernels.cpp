@@ -1,0 +1,238 @@
+// Bit-exactness gates for the dispatched SIMD kernel layer (rl/kernels.hpp).
+// The contract under test: the scalar fallback and the AVX2 backend compute
+// the same canonical 4-lane fma accumulation order, so every kernel agrees
+// bit for bit between backends — and therefore end-to-end PPO training
+// produces byte-identical parameters whichever backend (and thread count)
+// computed it. The ParallelKernels suite deliberately matches the Parallel*
+// naming so the TSan CI lane picks it up.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "rl/kernels.hpp"
+#include "rl/ppo.hpp"
+#include "rl/toy_envs.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace netadv;
+using namespace netadv::rl;
+
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+// Sizes chosen to hit every AVX2 tail length (n % 4 == 0..3) at small and
+// multi-register widths, plus the layer widths the repo actually trains.
+const std::size_t kSizes[] = {1, 2, 3, 4, 5, 6, 7, 8, 9,
+                              15, 16, 17, 31, 32, 33, 64, 100};
+
+Vec random_vec(util::Rng& rng, std::size_t n) {
+  Vec v(n);
+  for (auto& x : v) x = rng.uniform(-2.0, 2.0);
+  return v;
+}
+
+bool avx2_available() {
+  return kernels::avx2_compiled() && kernels::avx2_runtime_supported();
+}
+
+TEST(KernelCanonicalOrder, DotMatchesFourLaneFmaReference) {
+  util::Rng rng{101};
+  for (std::size_t n : kSizes) {
+    const Vec a = random_vec(rng, n);
+    const Vec b = random_vec(rng, n);
+    double lane[kernels::kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < n; ++i) {
+      lane[i % kernels::kLanes] = std::fma(a[i], b[i], lane[i % kernels::kLanes]);
+    }
+    const double expected = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    EXPECT_EQ(kernels::scalar::dot(a, b), expected) << "n=" << n;
+    EXPECT_EQ(kernels::dot(a, b), expected) << "n=" << n;
+  }
+}
+
+TEST(KernelCanonicalOrder, GemvIsBiasPlusCanonicalDotPerRow) {
+  util::Rng rng{202};
+  const std::size_t rows = 7, cols = 13;
+  const Vec w = random_vec(rng, rows * cols);
+  const Vec x = random_vec(rng, cols);
+  const Vec b = random_vec(rng, rows);
+  Vec y(rows, 0.0);
+  kernels::scalar::gemv(w, rows, cols, x, b, y);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Vec row(w.begin() + static_cast<std::ptrdiff_t>(r * cols),
+                  w.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols));
+    EXPECT_EQ(y[r], b[r] + kernels::scalar::dot(row, x)) << "row " << r;
+  }
+}
+
+TEST(KernelBitIdentity, ScalarAndAvx2AgreeOnEveryKernel) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 backend not available";
+  util::Rng rng{303};
+  for (std::size_t rows : {std::size_t{1}, std::size_t{3}, std::size_t{8},
+                           std::size_t{16}}) {
+    for (std::size_t cols : kSizes) {
+      const Vec w = random_vec(rng, rows * cols);
+      const Vec x = random_vec(rng, cols);
+      const Vec b = random_vec(rng, rows);
+      const Vec g = random_vec(rng, rows);
+
+      Vec ys(rows, 0.0), yv(rows, 0.0);
+      kernels::scalar::gemv(w, rows, cols, x, b, ys);
+      kernels::avx2::gemv(w, rows, cols, x, b, yv);
+      EXPECT_EQ(ys, yv) << "gemv " << rows << "x" << cols;
+
+      const std::size_t batch = 3;
+      const Vec xb = random_vec(rng, batch * cols);
+      Vec zs(batch * rows, 0.0), zv(batch * rows, 0.0);
+      kernels::scalar::gemm(w, rows, cols, xb, batch, b, zs);
+      kernels::avx2::gemm(w, rows, cols, xb, batch, b, zv);
+      EXPECT_EQ(zs, zv) << "gemm " << rows << "x" << cols;
+
+      Vec ts(cols, 0.0), tv(cols, 0.0);
+      kernels::scalar::gemv_transposed(w, rows, cols, g, ts);
+      kernels::avx2::gemv_transposed(w, rows, cols, g, tv);
+      EXPECT_EQ(ts, tv) << "gemv_transposed " << rows << "x" << cols;
+
+      Vec ws = w, wv = w;
+      kernels::scalar::rank1_update(ws, rows, cols, g, x);
+      kernels::avx2::rank1_update(wv, rows, cols, g, x);
+      EXPECT_EQ(ws, wv) << "rank1_update " << rows << "x" << cols;
+
+      const Vec a2 = random_vec(rng, cols);
+      EXPECT_EQ(kernels::scalar::dot(x, a2), kernels::avx2::dot(x, a2))
+          << "dot n=" << cols;
+    }
+  }
+}
+
+TEST(KernelBitIdentity, GemmEqualsRepeatedGemv) {
+  util::Rng rng{404};
+  const std::size_t rows = 5, cols = 11, batch = 4;
+  const Vec w = random_vec(rng, rows * cols);
+  const Vec b = random_vec(rng, rows);
+  const Vec xb = random_vec(rng, batch * cols);
+  Vec batched(batch * rows, 0.0);
+  kernels::gemm(w, rows, cols, xb, batch, b, batched);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const Vec x(xb.begin() + static_cast<std::ptrdiff_t>(n * cols),
+                xb.begin() + static_cast<std::ptrdiff_t>((n + 1) * cols));
+    Vec y(rows, 0.0);
+    kernels::gemv(w, rows, cols, x, b, y);
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(batched[n * rows + r], y[r]) << "sample " << n << " row " << r;
+    }
+  }
+}
+
+TEST(KernelDispatch, SetBackendRespectsAvailability) {
+  const kernels::Backend original = kernels::active_backend();
+  const kernels::Backend got = kernels::set_backend(kernels::Backend::kAvx2);
+  if (avx2_available()) {
+    EXPECT_EQ(got, kernels::Backend::kAvx2);
+    EXPECT_STREQ(kernels::backend_name(), "avx2");
+  } else {
+    EXPECT_EQ(got, kernels::Backend::kScalar);
+    EXPECT_STREQ(kernels::backend_name(), "scalar");
+  }
+  EXPECT_EQ(kernels::set_backend(kernels::Backend::kScalar),
+            kernels::Backend::kScalar);
+  EXPECT_STREQ(kernels::backend_name(), "scalar");
+  kernels::set_backend(original);
+}
+
+/// Restores the dispatched backend on scope exit so a failing assertion in
+/// one test cannot leak a forced backend into the next.
+class BackendGuard {
+ public:
+  explicit BackendGuard(kernels::Backend backend)
+      : original_(kernels::active_backend()) {
+    kernels::set_backend(backend);
+  }
+  ~BackendGuard() { kernels::set_backend(original_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  kernels::Backend original_;
+};
+
+PpoAgent train_ppo_with(kernels::Backend backend, std::size_t threads,
+                        bool continuous) {
+  util::set_log_level(util::LogLevel::kWarn);
+  BackendGuard guard{backend};
+  PpoConfig cfg;
+  cfg.hidden_sizes = {16, 8};
+  cfg.n_steps = 128;
+  cfg.minibatch_size = 32;
+  cfg.epochs = 3;
+  cfg.ent_coef = 0.01;
+  std::unique_ptr<Env> env;
+  if (continuous) {
+    env = std::make_unique<TargetChaseEnv>(16);
+  } else {
+    env = std::make_unique<ContextualBanditEnv>(2, 3, 8);
+  }
+  PpoAgent agent{env->observation_size(), env->action_spec(), cfg, 31};
+  util::ThreadPool pool{threads};
+  agent.set_thread_pool(&pool);
+  agent.train(*env, 384);
+  agent.set_thread_pool(nullptr);
+  return agent;
+}
+
+void expect_identical_params(const PpoAgent& agent, const PpoAgent& reference,
+                             kernels::Backend backend, std::size_t threads) {
+  const char* name =
+      backend == kernels::Backend::kAvx2 ? "avx2" : "scalar";
+  const auto ref_actor = reference.actor().params();
+  const auto actor = agent.actor().params();
+  ASSERT_EQ(actor.size(), ref_actor.size());
+  for (std::size_t i = 0; i < actor.size(); ++i) {
+    ASSERT_EQ(actor[i], ref_actor[i])
+        << "actor param " << i << " differs (" << name << ", " << threads
+        << " threads)";
+  }
+  const auto ref_critic = reference.critic().params();
+  const auto critic = agent.critic().params();
+  ASSERT_EQ(critic.size(), ref_critic.size());
+  for (std::size_t i = 0; i < critic.size(); ++i) {
+    ASSERT_EQ(critic[i], ref_critic[i])
+        << "critic param " << i << " differs (" << name << ", " << threads
+        << " threads)";
+  }
+  ASSERT_EQ(agent.log_std(), reference.log_std())
+      << "log_std differs (" << name << ", " << threads << " threads)";
+}
+
+TEST(ParallelKernels, PpoDiscreteBitIdenticalAcrossBackendsAndThreads) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 backend not available";
+  const PpoAgent reference =
+      train_ppo_with(kernels::Backend::kScalar, 1, /*continuous=*/false);
+  for (kernels::Backend backend :
+       {kernels::Backend::kScalar, kernels::Backend::kAvx2}) {
+    for (std::size_t threads : kThreadCounts) {
+      const PpoAgent agent = train_ppo_with(backend, threads, false);
+      expect_identical_params(agent, reference, backend, threads);
+    }
+  }
+}
+
+TEST(ParallelKernels, PpoContinuousBitIdenticalAcrossBackendsAndThreads) {
+  if (!avx2_available()) GTEST_SKIP() << "AVX2 backend not available";
+  const PpoAgent reference =
+      train_ppo_with(kernels::Backend::kScalar, 1, /*continuous=*/true);
+  for (kernels::Backend backend :
+       {kernels::Backend::kScalar, kernels::Backend::kAvx2}) {
+    for (std::size_t threads : kThreadCounts) {
+      const PpoAgent agent = train_ppo_with(backend, threads, true);
+      expect_identical_params(agent, reference, backend, threads);
+    }
+  }
+}
+
+}  // namespace

@@ -422,6 +422,44 @@ TEST(RunningNormalizer, RestoreRoundTrips) {
   EXPECT_NEAR(za[1], zb[1], 1e-9);
 }
 
+TEST(RunningNormalizer, RestoreMomentsIsExactRoundTrip) {
+  Rng rng{53};
+  RunningNormalizer a{2};
+  for (int i = 0; i < 137; ++i) a.update({rng.normal(), rng.normal(3.0, 2.0)});
+  RunningNormalizer b{2};
+  b.restore_moments(a.mean(), a.m2(), a.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.m2(), b.m2());
+  EXPECT_EQ(a.count(), b.count());
+  const Vec x{1.7, 4.2};
+  EXPECT_EQ(a.normalize(x), b.normalize(x));
+}
+
+TEST(RunningNormalizer, RestoreYoungNormalizerKeepsZeroSecondMoment) {
+  // With count < 2 Welford has accumulated no squared deviations, so
+  // restore() must leave m2 at 0. It used to plant variance * 1 = 1.0,
+  // which contaminated variance() as soon as the next sample arrived.
+  RunningNormalizer a{1};
+  a.update({5.0});
+  RunningNormalizer b{1};
+  b.restore(a.mean(), a.variance(), a.count());
+  EXPECT_EQ(b.m2(), Vec{0.0});
+  EXPECT_EQ(a.m2(), b.m2());
+
+  // The two must stay bit-identical through further updates.
+  a.update({7.0});
+  b.update({7.0});
+  EXPECT_EQ(a.variance(), b.variance());
+  EXPECT_EQ(a.normalize({6.0}), b.normalize({6.0}));
+
+  // Same for a completely empty normalizer.
+  RunningNormalizer c{1};
+  RunningNormalizer d{1};
+  d.restore(c.mean(), c.variance(), c.count());
+  EXPECT_EQ(d.m2(), Vec{0.0});
+  EXPECT_EQ(d.count(), 0u);
+}
+
 TEST(ReturnNormalizer, ScalesTowardUnitVariance) {
   Rng rng{47};
   ReturnNormalizer norm{0.99};

@@ -4,6 +4,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "rl/checkpoint.hpp"
 #include "rl/ppo.hpp"
@@ -139,6 +142,85 @@ TEST(Checkpoint, RoundTripPreservesBehaviour) {
               restored.act_deterministic(obs)[0]);
     EXPECT_NEAR(agent.value_estimate(obs), restored.value_estimate(obs), 1e-9);
   }
+  std::remove(path.c_str());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// save -> load -> save must reproduce the file byte for byte: parameters
+/// are printed with round-trip precision and the v2 format stores the
+/// normalizer's raw second moment, so nothing is lost to re-derivation.
+void expect_checkpoint_byte_identity(PpoAgent& agent, PpoAgent& restored,
+                                     const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string first = (dir / ("netadv_ckpt_" + tag + "_1.txt")).string();
+  const std::string second = (dir / ("netadv_ckpt_" + tag + "_2.txt")).string();
+  save_checkpoint(agent, first);
+  load_checkpoint(restored, first);
+  save_checkpoint(restored, second);
+  EXPECT_EQ(read_file(first), read_file(second)) << tag;
+  std::remove(first.c_str());
+  std::remove(second.c_str());
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteIdenticalDiscrete) {
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 29};
+  agent.train(env, 1024);
+  PpoAgent restored{env.observation_size(), env.action_spec(), small_config(),
+                    999};
+  expect_checkpoint_byte_identity(agent, restored, "discrete");
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteIdenticalContinuous) {
+  TargetChaseEnv env{16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 29};
+  agent.train(env, 1024);
+  PpoAgent restored{env.observation_size(), env.action_spec(), small_config(),
+                    999};
+  expect_checkpoint_byte_identity(agent, restored, "continuous");
+}
+
+TEST(Checkpoint, SaveLoadSaveIsByteIdenticalUntrained) {
+  // count_ < 2 is the regression case: restoring used to plant a spurious
+  // second moment that changed the bytes (and later the variance).
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 29};
+  PpoAgent restored{env.observation_size(), env.action_spec(), small_config(),
+                    999};
+  expect_checkpoint_byte_identity(agent, restored, "untrained");
+}
+
+TEST(Checkpoint, LoadsLegacyV1Format) {
+  ContextualBanditEnv env{2, 2, 8};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 41};
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_ckpt_v1.txt").string();
+  {
+    // Minimal hand-written v1 checkpoint (variance instead of m2).
+    std::ofstream out{path};
+    out << "netadv-ppo-checkpoint v1\n";
+    out << "obs_size 2\n";
+    out << "action discrete 2\n";
+    out << "actor " << agent.actor().param_count();
+    for (std::size_t i = 0; i < agent.actor().param_count(); ++i) out << " 0.5";
+    out << "\ncritic " << agent.critic().param_count();
+    for (std::size_t i = 0; i < agent.critic().param_count(); ++i) out << " 0.25";
+    out << "\nlog_std 0\n";
+    out << "obs_mean 2 1 2\n";
+    out << "obs_var 2 4 9\n";
+    out << "obs_count 10\n";
+  }
+  load_checkpoint(agent, path);
+  EXPECT_EQ(agent.actor().params()[0], 0.5);
+  EXPECT_EQ(agent.obs_normalizer().count(), 10u);
+  EXPECT_DOUBLE_EQ(agent.obs_normalizer().variance()[0], 4.0);
+  EXPECT_DOUBLE_EQ(agent.obs_normalizer().variance()[1], 9.0);
   std::remove(path.c_str());
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -200,6 +201,27 @@ TEST(SlidingWindow, HarmonicMean) {
   EXPECT_NEAR(w.harmonic_mean(), 12.0 / 7.0, 1e-12);
 }
 
+TEST(SlidingWindow, HarmonicMeanGuardsNonPositiveSamples) {
+  // A 0 sample used to divide by zero (denom = inf, mean = 0 at best, NaN
+  // once a second infinity or a negative sample entered the window). It now
+  // contributes 1/kMinHarmonicSample, dragging the mean toward ~0.
+  SlidingWindow w{4};
+  w.push(0.0);
+  const double with_zero = w.harmonic_mean();
+  EXPECT_TRUE(std::isfinite(with_zero));
+  EXPECT_NEAR(with_zero, SlidingWindow::kMinHarmonicSample, 1e-18);
+
+  w.push(10.0);
+  EXPECT_TRUE(std::isfinite(w.harmonic_mean()));
+  EXPECT_LT(w.harmonic_mean(), 10.0);
+
+  SlidingWindow neg{4};
+  neg.push(-2.0);
+  neg.push(5.0);
+  EXPECT_TRUE(std::isfinite(neg.harmonic_mean()));
+  EXPECT_GT(neg.harmonic_mean(), 0.0);
+}
+
 TEST(SlidingWindow, MinMax) {
   SlidingWindow w{5};
   for (double x : {3.0, 1.0, 4.0, 1.5}) w.push(x);
@@ -287,6 +309,37 @@ TEST(Csv, NonNumericCellThrows) {
     CsvWriter writer{path};
     writer.write_row(std::vector<std::string>{"x"});
     writer.write_row(std::vector<std::string>{"not_a_number"});
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, TrailingEmptyCellIsAnErrorNotDropped) {
+  // "1.5," is two cells, the second empty. The old parser silently dropped
+  // it and accepted the short row; now the empty cell fails numeric parsing.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_trailing.csv").string();
+  {
+    std::ofstream out{path};
+    out << "a,b\n1.5,\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RaggedRowThrows) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_ragged.csv").string();
+  {
+    std::ofstream out{path};
+    out << "a,b,c\n1,2,3\n4,5\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+
+  {
+    std::ofstream out{path};
+    out << "a,b\n1,2,3\n";
   }
   EXPECT_THROW(read_csv(path), std::runtime_error);
   std::remove(path.c_str());
