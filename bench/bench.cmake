@@ -6,7 +6,8 @@ add_library(netadv_bench_common STATIC
 target_include_directories(netadv_bench_common PUBLIC
   ${CMAKE_SOURCE_DIR}/src ${CMAKE_CURRENT_SOURCE_DIR})
 target_link_libraries(netadv_bench_common PUBLIC
-  netadv_core netadv_abr netadv_cc netadv_rl netadv_trace netadv_util)
+  netadv_core netadv_exp netadv_abr netadv_cc netadv_rl netadv_trace
+  netadv_util)
 
 # netadv_add_bench(<name>) — one binary per reproduced table/figure.
 function(netadv_add_bench name)

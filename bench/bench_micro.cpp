@@ -6,9 +6,11 @@
 // After the google-benchmark suites, main() measures the parallel execution
 // layer directly — trace replay, VecEnv rollout, shadow-buffer PPO gradient
 // updates, a miniature Figure-1 pipeline (concurrent adversary training +
-// batch trace recording) at 1/2/N threads, and the scalar-vs-AVX2 MLP math
-// kernels — and drops the numbers as bench_out/BENCH_parallel.json so the
-// perf trajectory of the threading and SIMD work is tracked across PRs.
+// batch trace recording) at 1/2/N threads, the campaign DAG scheduler
+// (per-job dispatch overhead and a miniature campaign at 1/2/8 threads),
+// and the scalar-vs-AVX2 MLP math kernels — and drops the numbers as
+// bench_out/BENCH_parallel.json so the perf trajectory of the threading
+// and SIMD work is tracked across PRs.
 // Every section also re-checks the determinism contract: results at N
 // threads (and on either kernel backend) must be bit-identical.
 #include <benchmark/benchmark.h>
@@ -17,7 +19,10 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,12 +36,16 @@
 #include "core/cc_adversary.hpp"
 #include "core/recorder.hpp"
 #include "core/trainer.hpp"
+#include "exp/campaign.hpp"
+#include "exp/jobs.hpp"
+#include "exp/scheduler.hpp"
 #include "rl/kernels.hpp"
 #include "rl/toy_envs.hpp"
 #include "rl/vec_env.hpp"
 #include "trace/generators.hpp"
 #include "util/config.hpp"
 #include "util/log.hpp"
+#include "util/spec.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -434,6 +443,106 @@ void write_parallel_artifact() {
     }
   }
 
+  // --- scheduler: the campaign engine's DAG dispatch (exp::run_campaign).
+  // Two measurements at threads {1, 2, 8} (oversubscribing a smaller
+  // machine is safe — only wall-clock changes):
+  //   * dispatch — 64 no-op jobs in 8 chains of 8 (8 waves), isolating the
+  //     per-job scheduling cost: wave fan-out, provenance hashing, manifest
+  //     append. seconds / jobs = dispatch overhead per job.
+  //   * campaign — a miniature real campaign (2 gen-traces -> 2 replay
+  //     jobs), wall-clock plus the artifact bit-identity check every other
+  //     section runs. ---
+  const std::vector<std::size_t> sched_thread_counts{1, 2, 8};
+  const auto sched_root =
+      std::filesystem::temp_directory_path() / "netadv_bench_micro_sched";
+  const std::size_t dispatch_jobs = 64;
+  std::string dispatch_spec = "[campaign]\nname = micro-dispatch\nseed = 3\n";
+  dispatch_spec += "out_dir = " + (sched_root / "dispatch").string() + "\n";
+  for (std::size_t i = 0; i < dispatch_jobs; ++i) {
+    dispatch_spec += "[job j" + std::to_string(i) + "]\nkind = noop\n";
+    if (i >= 8) {
+      dispatch_spec += "after = j" + std::to_string(i - 8) + "\n";
+    }
+  }
+  exp::JobRegistry noop_registry;
+  noop_registry.add("noop",
+                    [](const exp::JobContext&) { return exp::JobResult{}; });
+  const exp::Campaign dispatch_campaign = exp::parse_campaign(
+      util::parse_spec_text(dispatch_spec, "bench-micro-dispatch"));
+  std::vector<ThreadSample> dispatch_samples;
+  for (std::size_t threads : sched_thread_counts) {
+    util::ThreadPool pool{threads};
+    exp::SchedulerOptions opts;
+    opts.pool = &pool;
+    // Warm once (creates out_dir, pages in the scheduler), then time.
+    exp::run_campaign(dispatch_campaign, noop_registry, opts);
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds = time_seconds(
+        [&] { exp::run_campaign(dispatch_campaign, noop_registry, opts); });
+    sample.items_per_s = static_cast<double>(dispatch_jobs) / sample.seconds;
+    dispatch_samples.push_back(sample);
+  }
+
+  const std::string sched_spec_body =
+      "[job gen-a]\nkind = gen-traces\ngenerator = random\ncount = 12\n"
+      "[job gen-b]\nkind = gen-traces\ngenerator = random\ncount = 12\n"
+      "[job replay-a]\nkind = replay\nafter = gen-a\ntraces = gen-a\n"
+      "protocol = bb\n"
+      "[job replay-b]\nkind = replay\nafter = gen-b\ntraces = gen-b\n"
+      "protocol = mpc\n";
+  const exp::JobRegistry builtin_registry = exp::builtin_jobs();
+  std::vector<ThreadSample> sched_samples;
+  std::string sched_reference;
+  bool sched_identical = true;
+  for (std::size_t threads : sched_thread_counts) {
+    util::ThreadPool pool{threads};
+    // One out_dir per thread count so the artifact bytes can be compared
+    // across runs afterwards.
+    const auto out_dir = sched_root / ("campaign_t" + std::to_string(threads));
+    const std::string sched_spec = "[campaign]\nname = micro-sched\nseed = 5\n"
+                                   "out_dir = " + out_dir.string() + "\n" +
+                                   sched_spec_body;
+    const exp::Campaign sched_campaign = exp::parse_campaign(
+        util::parse_spec_text(sched_spec, "bench-micro-sched"));
+    exp::SchedulerOptions opts;
+    opts.pool = &pool;
+    exp::CampaignReport report;
+    ThreadSample sample;
+    sample.threads = threads;
+    sample.seconds = time_seconds(
+        [&] { report = exp::run_campaign(sched_campaign, builtin_registry, opts); });
+    sample.items_per_s =
+        static_cast<double>(sched_campaign.jobs.size()) / sample.seconds;
+    sched_samples.push_back(sample);
+    std::string signature;
+    bool complete = report.ok();
+    for (const auto& outcome : report.outcomes) {
+      for (const auto& artifact : outcome.result.artifacts) {
+        std::ifstream in{artifact, std::ios::binary};
+        if (!in) {
+          complete = false;
+          continue;
+        }
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        signature += bytes.str();
+      }
+    }
+    if (!complete) {
+      sched_identical = false;
+    } else if (sched_reference.empty()) {
+      sched_reference = signature;
+    } else if (signature != sched_reference) {
+      sched_identical = false;
+    }
+  }
+  std::error_code sched_cleanup_ec;
+  std::filesystem::remove_all(sched_root, sched_cleanup_ec);
+  const double dispatch_us_per_job =
+      dispatch_samples.front().seconds /
+      static_cast<double>(dispatch_jobs) * 1e6;
+
   // --- kernels: scalar vs AVX2 backends of the MLP math kernels. Direct
   // backend calls (no dispatch flip), so both are timed in one process and
   // the outputs can be compared bit for bit — the same identity the
@@ -566,6 +675,15 @@ void write_parallel_artifact() {
   std::fprintf(f, "  \"fig_pipeline_results_identical\": %s,\n",
                pipeline_identical ? "true" : "false");
   write_samples("fig_pipeline", pipeline_samples, "traces_per_s");
+  std::fprintf(f, "  \"scheduler_dispatch_jobs\": %zu,\n", dispatch_jobs);
+  std::fprintf(f, "  \"scheduler_dispatch_waves\": 8,\n");
+  std::fprintf(f, "  \"scheduler_dispatch_us_per_job\": %.2f,\n",
+               dispatch_us_per_job);
+  write_samples("scheduler_dispatch", dispatch_samples, "jobs_per_s");
+  std::fprintf(f, "  \"scheduler_campaign_jobs\": 4,\n");
+  std::fprintf(f, "  \"scheduler_results_identical\": %s,\n",
+               sched_identical ? "true" : "false");
+  write_samples("scheduler_campaign", sched_samples, "jobs_per_s");
   std::fprintf(f, "  \"kernel_backend_active\": \"%s\",\n",
                rl::kernels::backend_name());
   std::fprintf(f, "  \"kernel_avx2_available\": %s,\n",
@@ -593,19 +711,23 @@ void write_parallel_artifact() {
                speedup(rollout_samples));
   std::fprintf(f, "  \"gradient_speedup_vs_1_thread\": %.3f,\n",
                speedup(gradient_samples));
-  std::fprintf(f, "  \"fig_pipeline_speedup_vs_1_thread\": %.3f\n",
+  std::fprintf(f, "  \"fig_pipeline_speedup_vs_1_thread\": %.3f,\n",
                speedup(pipeline_samples));
+  std::fprintf(f, "  \"scheduler_campaign_speedup_vs_1_thread\": %.3f\n",
+               speedup(sched_samples));
   std::fprintf(f, "}\n");
   std::fclose(f);
   util::log_info("BENCH_parallel: wrote %s (replay %.2fx, rollout %.2fx, "
                  "gradient %.2fx, fig pipeline %.2fx at %zu threads; "
-                 "gemm scalar->%s %.2fx; all results identical: %s)",
+                 "campaign dispatch %.1f us/job; gemm scalar->%s %.2fx; "
+                 "all results identical: %s)",
                  path.c_str(), speedup(replay_samples),
                  speedup(rollout_samples), speedup(gradient_samples),
-                 speedup(pipeline_samples), hw, rl::kernels::backend_name(),
-                 kernel_gemm_speedup,
+                 speedup(pipeline_samples), hw, dispatch_us_per_job,
+                 rl::kernels::backend_name(), kernel_gemm_speedup,
                  replay_identical && gradient_identical &&
-                         pipeline_identical && kernel_identical
+                         pipeline_identical && sched_identical &&
+                         kernel_identical
                      ? "yes"
                      : "NO");
 }

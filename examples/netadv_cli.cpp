@@ -6,19 +6,18 @@
 //                                                             train + record
 //   netadv_cli cc    <bbr|copa|vivace|cubic|reno> <trace.csv> replay a CC flow
 //   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
+//   netadv_cli campaign <spec> [--resume] [--dry-run]         run a campaign
 //
-// Traces use the CSV schema of trace::save_trace. Exit code 0 on success.
+// Traces use the CSV schema of trace::save_trace. Exit code 0 on success,
+// 1 on a runtime error, 2 on a usage error (campaign job failures also
+// exit 1 — the manifest records which jobs failed).
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "abr/bb.hpp"
-#include "abr/bola.hpp"
-#include "abr/mpc.hpp"
 #include "abr/optimal.hpp"
 #include "abr/runner.hpp"
-#include "abr/throughput_rule.hpp"
 #include "cc/bbr.hpp"
 #include "cc/copa.hpp"
 #include "cc/cubic.hpp"
@@ -26,10 +25,14 @@
 #include "core/abr_adversary.hpp"
 #include "core/recorder.hpp"
 #include "core/trainer.hpp"
+#include "exp/campaign.hpp"
+#include "exp/jobs.hpp"
+#include "exp/scheduler.hpp"
 #include "trace/generators.hpp"
 #include "trace/mahimahi.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace netadv;
 
@@ -43,23 +46,19 @@ int usage() {
                "  netadv_cli attack <bb|bola|mpc|throughput> <steps> <count> "
                "<out_prefix>\n"
                "  netadv_cli cc <bbr|copa|vivace|cubic|reno> <trace.csv>\n"
-               "  netadv_cli mm-export <trace.csv> <out.mm>\n");
+               "  netadv_cli mm-export <trace.csv> <out.mm>\n"
+               "  netadv_cli campaign <spec> [--resume] [--dry-run]\n");
   return 2;
 }
 
+// The campaign engine owns the name -> object tables; the ad-hoc commands
+// reuse them so `eval mpc` and a spec's `protocol = mpc` can never diverge.
 std::unique_ptr<trace::TraceGenerator> make_generator(const std::string& kind) {
-  if (kind == "fcc") return std::make_unique<trace::FccLikeGenerator>();
-  if (kind == "3g") return std::make_unique<trace::Hsdpa3gLikeGenerator>();
-  if (kind == "random") return std::make_unique<trace::UniformRandomGenerator>();
-  return nullptr;
+  return exp::make_trace_generator(kind);
 }
 
 std::unique_ptr<abr::AbrProtocol> make_protocol(const std::string& kind) {
-  if (kind == "bb") return std::make_unique<abr::BufferBased>();
-  if (kind == "bola") return std::make_unique<abr::Bola>();
-  if (kind == "mpc") return std::make_unique<abr::RobustMpc>();
-  if (kind == "throughput") return std::make_unique<abr::ThroughputRule>();
-  return nullptr;
+  return exp::make_abr_protocol(kind);
 }
 
 std::unique_ptr<cc::CcSender> make_sender(const std::string& kind) {
@@ -155,6 +154,44 @@ int cmd_mm_export(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_campaign(const std::vector<std::string>& args) {
+  std::string spec_path;
+  bool resume = false;
+  bool dry_run = false;
+  for (const auto& arg : args) {
+    if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--dry-run") {
+      dry_run = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "campaign: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+
+  const exp::Campaign campaign = exp::load_campaign(spec_path);
+  if (dry_run) {
+    std::fputs(exp::format_plan(campaign, resume).c_str(), stdout);
+    return 0;
+  }
+  exp::SchedulerOptions options;
+  options.resume = resume;
+  options.pool = &util::ThreadPool::global();
+  const exp::CampaignReport report =
+      exp::run_campaign(campaign, exp::builtin_jobs(), options);
+  std::printf(
+      "campaign %s: %zu completed, %zu cached, %zu failed, %zu blocked\n"
+      "manifest: %s\n",
+      campaign.name.c_str(), report.completed, report.skipped, report.failed,
+      report.blocked, report.manifest.c_str());
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +205,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "cc") return cmd_cc(args);
     if (cmd == "mm-export") return cmd_mm_export(args);
+    if (cmd == "campaign") return cmd_campaign(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,358 @@
+#include "exp/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/config.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace netadv::exp {
+
+namespace {
+
+[[noreturn]] void fail(const util::SpecFile& spec, std::size_t line,
+                       const std::string& what) {
+  throw std::runtime_error{spec.source + ":" + std::to_string(line) + ": " +
+                           what};
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long value = std::stoull(text, &used);
+    if (used != text.size()) throw std::invalid_argument{text};
+    return static_cast<std::uint64_t>(value);
+  } catch (const std::exception&) {
+    throw std::runtime_error{"campaign: " + what + " is not an integer: '" +
+                             text + "'"};
+  }
+}
+
+JobSpec job_from_section(const util::SpecFile& spec,
+                         const util::SpecSection& section) {
+  if (section.label.empty()) {
+    fail(spec, section.line, "[job] sections need an id: [job <id>]");
+  }
+  JobSpec job;
+  job.id = section.label;
+  for (const auto& [key, value] : section.entries) {
+    if (key == "kind") {
+      job.kind = value;
+    } else if (key == "after") {
+      for (auto& dep : util::split_list(value)) job.after.push_back(dep);
+    } else if (key == "seed") {
+      job.seed = parse_u64(value, "job '" + job.id + "' seed");
+    } else {
+      job.params.emplace_back(key, value);
+    }
+  }
+  if (job.kind.empty()) {
+    fail(spec, section.line, "job '" + job.id + "' has no kind");
+  }
+  return job;
+}
+
+/// Expand one grid template into concrete jobs; returns the expanded ids so
+/// `after = <grid id>` elsewhere can depend on the whole sweep.
+std::vector<std::string> expand_grid(const util::SpecFile& spec,
+                                     const util::SpecSection& section,
+                                     const JobSpec& grid,
+                                     std::vector<JobSpec>& out) {
+  const std::string* protocols_csv = grid.find("protocols");
+  if (protocols_csv == nullptr) {
+    fail(spec, section.line, "grid '" + grid.id + "' needs protocols = ...");
+  }
+  const std::vector<std::string> protocols = util::split_list(*protocols_csv);
+  const std::vector<std::string> adversaries =
+      util::split_list(grid.value_or("adversaries", ""));
+  const std::vector<std::string> trace_sets =
+      util::split_list(grid.value_or("trace_sets", ""));
+  if (adversaries.empty() == trace_sets.empty()) {
+    fail(spec, section.line,
+         "grid '" + grid.id +
+             "' needs exactly one of adversaries = ... (attack sweep) or "
+             "trace_sets = ... (replay sweep)");
+  }
+  std::vector<std::uint64_t> seeds;
+  for (const auto& s : util::split_list(grid.value_or("seeds", ""))) {
+    seeds.push_back(parse_u64(s, "grid '" + grid.id + "' seeds"));
+  }
+
+  // Params forwarded verbatim to every expanded job (the sweep axes and the
+  // engine keys are consumed here).
+  std::vector<std::pair<std::string, std::string>> shared;
+  for (const auto& [key, value] : grid.params) {
+    if (key == "protocols" || key == "adversaries" || key == "seeds" ||
+        key == "trace_sets") {
+      continue;
+    }
+    shared.emplace_back(key, value);
+  }
+
+  std::vector<std::string> expanded_ids;
+  auto emit = [&](JobSpec job) {
+    expanded_ids.push_back(job.id);
+    out.push_back(std::move(job));
+  };
+
+  if (!trace_sets.empty()) {
+    // Replay sweep: protocols x trace_sets.
+    for (const auto& protocol : protocols) {
+      for (const auto& set : trace_sets) {
+        JobSpec job;
+        job.id = grid.id + "-" + protocol + "-on-" + set;
+        job.kind = "replay";
+        job.after = grid.after;
+        job.after.push_back(set);
+        job.params = shared;
+        job.params.emplace_back("protocol", protocol);
+        job.params.emplace_back("traces", set);
+        emit(std::move(job));
+      }
+    }
+    return expanded_ids;
+  }
+
+  // Attack sweep: protocols x adversaries x seeds. A PPO point is a
+  // train-adversary job feeding a record-traces job; a CEM point records
+  // directly (CEM is trace-based — searching *is* recording).
+  const std::vector<std::optional<std::uint64_t>> seed_axis =
+      seeds.empty()
+          ? std::vector<std::optional<std::uint64_t>>{std::nullopt}
+          : [&] {
+              std::vector<std::optional<std::uint64_t>> axis;
+              for (const auto s : seeds) axis.emplace_back(s);
+              return axis;
+            }();
+  for (const auto& protocol : protocols) {
+    for (const auto& adversary : adversaries) {
+      for (const auto& seed : seed_axis) {
+        const std::string tag =
+            seed.has_value() ? "-s" + std::to_string(*seed) : "";
+        const std::string point_id = grid.id + "-" + protocol + "-" +
+                                     adversary + tag;
+        if (adversary == "ppo") {
+          JobSpec train;
+          train.id = point_id + "-train";
+          train.kind = "train-adversary";
+          train.after = grid.after;
+          train.params = shared;
+          train.params.emplace_back("protocol", protocol);
+          train.seed = seed;
+
+          JobSpec record;
+          record.id = point_id;
+          record.kind = "record-traces";
+          record.after = grid.after;
+          record.after.push_back(train.id);
+          record.params = shared;
+          record.params.emplace_back("protocol", protocol);
+          record.params.emplace_back("from", train.id);
+          record.seed = seed;
+          emit(std::move(train));
+          emit(std::move(record));
+        } else if (adversary == "cem") {
+          JobSpec record;
+          record.id = point_id;
+          record.kind = "record-traces";
+          record.after = grid.after;
+          record.params = shared;
+          record.params.emplace_back("protocol", protocol);
+          record.params.emplace_back("adversary", "cem");
+          record.seed = seed;
+          emit(std::move(record));
+        } else {
+          fail(spec, section.line,
+               "grid '" + grid.id + "': unknown adversary kind '" + adversary +
+                   "' (ppo | cem)");
+        }
+      }
+    }
+  }
+  return expanded_ids;
+}
+
+}  // namespace
+
+const std::string* JobSpec::find(const std::string& key) const noexcept {
+  const std::string* found = nullptr;
+  for (const auto& [k, v] : params) {
+    if (k == key) found = &v;
+  }
+  return found;
+}
+
+std::string JobSpec::value_or(const std::string& key,
+                              const std::string& fallback) const {
+  const std::string* v = find(key);
+  return v != nullptr ? *v : fallback;
+}
+
+std::size_t Campaign::job_index(const std::string& id) const noexcept {
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].id == id) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+Campaign parse_campaign(const util::SpecFile& spec) {
+  Campaign campaign;
+  bool saw_header = false;
+  // Grid ids double as dependency groups naming every expanded job.
+  std::vector<std::pair<std::string, std::vector<std::string>>> groups;
+  for (const auto& section : spec.sections) {
+    if (section.name == "campaign") {
+      if (saw_header) fail(spec, section.line, "duplicate [campaign] section");
+      saw_header = true;
+      campaign.name = section.value_or("name", "");
+      if (campaign.name.empty()) {
+        fail(spec, section.line, "[campaign] needs name = ...");
+      }
+      if (const std::string* seed = section.find("seed")) {
+        campaign.seed = parse_u64(*seed, "campaign seed");
+      }
+      campaign.out_dir = section.value_or("out_dir", "");
+    } else if (section.name == "job") {
+      JobSpec job = job_from_section(spec, section);
+      if (job.kind == "grid") {
+        groups.emplace_back(job.id, expand_grid(spec, section, job,
+                                                campaign.jobs));
+      } else {
+        campaign.jobs.push_back(std::move(job));
+      }
+    } else {
+      fail(spec, section.line, "unknown section [" + section.name +
+                                   "] (expected [campaign] or [job <id>])");
+    }
+  }
+  if (!saw_header) {
+    throw std::runtime_error{spec.source + ": missing [campaign] section"};
+  }
+  if (campaign.jobs.empty()) {
+    throw std::runtime_error{spec.source + ": campaign '" + campaign.name +
+                             "' declares no jobs"};
+  }
+  if (campaign.out_dir.empty()) {
+    campaign.out_dir = util::bench_output_dir() + "/" + campaign.name;
+  }
+
+  // Resolve group references, check id uniqueness and dependency targets.
+  for (std::size_t i = 0; i < campaign.jobs.size(); ++i) {
+    for (std::size_t j = i + 1; j < campaign.jobs.size(); ++j) {
+      if (campaign.jobs[i].id == campaign.jobs[j].id) {
+        throw std::runtime_error{spec.source + ": duplicate job id '" +
+                                 campaign.jobs[i].id + "'"};
+      }
+    }
+  }
+  for (auto& job : campaign.jobs) {
+    std::vector<std::string> resolved;
+    for (const auto& dep : job.after) {
+      const auto group = std::find_if(
+          groups.begin(), groups.end(),
+          [&](const auto& g) { return g.first == dep; });
+      if (group != groups.end()) {
+        resolved.insert(resolved.end(), group->second.begin(),
+                        group->second.end());
+        continue;
+      }
+      if (campaign.job_index(dep) == static_cast<std::size_t>(-1)) {
+        throw std::runtime_error{spec.source + ": job '" + job.id +
+                                 "' depends on unknown job '" + dep + "'"};
+      }
+      resolved.push_back(dep);
+    }
+    // Dedup while preserving order (a grid edge can repeat a direct one).
+    job.after.clear();
+    for (auto& dep : resolved) {
+      if (std::find(job.after.begin(), job.after.end(), dep) ==
+          job.after.end()) {
+        job.after.push_back(std::move(dep));
+      }
+    }
+    if (std::find(job.after.begin(), job.after.end(), job.id) !=
+        job.after.end()) {
+      throw std::runtime_error{spec.source + ": job '" + job.id +
+                               "' depends on itself"};
+    }
+  }
+  topological_waves(campaign);  // rejects cycles at load time
+  return campaign;
+}
+
+Campaign load_campaign(const std::string& path) {
+  return parse_campaign(util::parse_spec_file(path));
+}
+
+std::vector<std::uint64_t> resolve_job_seeds(const Campaign& campaign) {
+  util::Rng root{campaign.seed};
+  std::vector<util::Rng> streams = root.fork_streams(campaign.jobs.size());
+  std::vector<std::uint64_t> seeds(campaign.jobs.size());
+  for (std::size_t i = 0; i < campaign.jobs.size(); ++i) {
+    seeds[i] = campaign.jobs[i].seed.value_or(streams[i]());
+  }
+  return seeds;
+}
+
+std::uint64_t job_params_hash(const Campaign& campaign, const JobSpec& job,
+                              std::uint64_t resolved_seed) {
+  // Canonical serialization: sorted params so spelling order in the spec
+  // cannot flip the fingerprint.
+  std::vector<std::pair<std::string, std::string>> sorted = job.params;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t state = util::kFnvOffsetBasis;
+  const auto fold = [&state](const std::string& text) {
+    state = util::fnv1a64_accumulate(state, text);
+    state = util::fnv1a64_accumulate(state, std::string_view{"\n", 1});
+  };
+  fold(campaign.name);
+  fold(job.kind);
+  for (const auto& [key, value] : sorted) fold(key + "=" + value);
+  fold("seed=" + std::to_string(resolved_seed));
+  return state;
+}
+
+std::vector<std::vector<std::size_t>> topological_waves(
+    const Campaign& campaign) {
+  const std::size_t n = campaign.jobs.size();
+  std::vector<std::vector<std::size_t>> dependents(n);
+  std::vector<std::size_t> pending(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& dep : campaign.jobs[i].after) {
+      const std::size_t d = campaign.job_index(dep);
+      if (d == static_cast<std::size_t>(-1)) {
+        throw std::runtime_error{"campaign '" + campaign.name + "': job '" +
+                                 campaign.jobs[i].id +
+                                 "' depends on unknown job '" + dep + "'"};
+      }
+      dependents[d].push_back(i);
+      ++pending[i];
+    }
+  }
+  std::vector<std::vector<std::size_t>> waves;
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pending[i] == 0) ready.push_back(i);
+  }
+  std::size_t placed = 0;
+  while (!ready.empty()) {
+    waves.push_back(ready);
+    placed += ready.size();
+    std::vector<std::size_t> next;
+    for (const std::size_t i : ready) {
+      for (const std::size_t d : dependents[i]) {
+        if (--pending[d] == 0) next.push_back(d);
+      }
+    }
+    std::sort(next.begin(), next.end());  // declaration order within a wave
+    ready = std::move(next);
+  }
+  if (placed != n) {
+    throw std::runtime_error{"campaign '" + campaign.name +
+                             "': dependency cycle detected"};
+  }
+  return waves;
+}
+
+}  // namespace netadv::exp

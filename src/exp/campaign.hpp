@@ -1,0 +1,101 @@
+// Declarative experiment campaigns (netadv::exp).
+//
+// The paper's contribution is a *recipe* — train protocol, train adversary,
+// generate adversarial traces, retrain — and a campaign file states such a
+// recipe declaratively: named jobs with a `kind`, parameters, and `after:`
+// dependency edges, in the util::spec key=value/section grammar:
+//
+//   [campaign]
+//   name = grid-sweep
+//   seed = 2026
+//   # out_dir = somewhere        (default: <bench_output_dir>/<name>)
+//
+//   [job train-bb]
+//   kind = train-adversary
+//   protocol = bb
+//   steps = 80000
+//
+//   [job rec-bb]
+//   kind = record-traces
+//   after = train-bb
+//   from = train-bb
+//   protocol = bb
+//   count = 20
+//
+// A job with `kind = grid` is a sweep template: it expands at load time into
+// one concrete job pipeline per point of
+// {protocols} x {adversaries} x {seeds}   (train-adversary -> record-traces
+//                                          per PPO point; record-traces per
+//                                          CEM point), or
+// {protocols} x {trace_sets}              (one replay job per point),
+// and other jobs may name the grid id in `after` to depend on every
+// expanded job. Campaign loading resolves dependencies, rejects cycles and
+// unknown ids, and derives the per-job seeds (see resolve_job_seeds) — the
+// scheduler (scheduler.hpp) then executes the DAG.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/spec.hpp"
+
+namespace netadv::exp {
+
+/// One declared job after grid expansion.
+struct JobSpec {
+  std::string id;
+  std::string kind;
+  std::vector<std::string> after;  ///< ids this job depends on
+  /// All parameters in declaration order (excluding id/kind/after/seed).
+  std::vector<std::pair<std::string, std::string>> params;
+  /// Explicit `seed =` value, if the spec pinned one.
+  std::optional<std::uint64_t> seed;
+
+  const std::string* find(const std::string& key) const noexcept;
+  std::string value_or(const std::string& key,
+                       const std::string& fallback) const;
+};
+
+struct Campaign {
+  std::string name;
+  std::uint64_t seed = 1;
+  /// Artifact directory; empty in the spec means
+  /// <util::bench_output_dir()>/<name>, resolved at load time.
+  std::string out_dir;
+  std::vector<JobSpec> jobs;  ///< declaration order (grids pre-expanded)
+
+  /// Index of `id` in jobs, or npos.
+  std::size_t job_index(const std::string& id) const noexcept;
+};
+
+/// Build a Campaign from parsed spec sections: one [campaign] section plus
+/// one [job <id>] section per job. Expands grids, validates ids/deps/cycles.
+/// Throws std::runtime_error with the offending spec location on any error.
+Campaign parse_campaign(const util::SpecFile& spec);
+
+/// parse_spec_file + parse_campaign.
+Campaign load_campaign(const std::string& path);
+
+/// The per-job seeds, resolved deterministically on the caller before any
+/// dispatch: stream i of Rng{campaign.seed}.fork_streams(jobs.size()) seeds
+/// job i (declaration order), unless the job pinned `seed =` explicitly.
+/// Same campaign -> same seeds at every thread count.
+std::vector<std::uint64_t> resolve_job_seeds(const Campaign& campaign);
+
+/// Canonical fingerprint of a job's identity: kind, ordered params, resolved
+/// seed, and the campaign name — the manifest's params_hash. Artifact hashes
+/// of dependencies are tracked separately (inputs_hash) so an upstream
+/// change invalidates downstream cache entries.
+std::uint64_t job_params_hash(const Campaign& campaign, const JobSpec& job,
+                              std::uint64_t resolved_seed);
+
+/// Topologically order the DAG into waves: wave k holds every job whose
+/// dependencies all sit in waves < k, in declaration order. Throws on
+/// dependency cycles (load-time validation also catches them).
+std::vector<std::vector<std::size_t>> topological_waves(
+    const Campaign& campaign);
+
+}  // namespace netadv::exp

@@ -1,0 +1,355 @@
+#include "exp/jobs.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "abr/bb.hpp"
+#include "abr/bola.hpp"
+#include "abr/mpc.hpp"
+#include "abr/optimal.hpp"
+#include "abr/pensieve.hpp"
+#include "abr/runner.hpp"
+#include "abr/throughput_rule.hpp"
+#include "core/abr_adversary.hpp"
+#include "core/cem_adversary.hpp"
+#include "core/recorder.hpp"
+#include "core/trainer.hpp"
+#include "rl/checkpoint.hpp"
+#include "trace/trace.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/spec.hpp"
+#include "util/stats.hpp"
+
+namespace netadv::exp {
+
+namespace {
+
+[[noreturn]] void job_fail(const JobContext& ctx, const std::string& what) {
+  throw std::runtime_error{"job '" + ctx.job->id + "' (" + ctx.job->kind +
+                           "): " + what};
+}
+
+std::size_t size_param(const JobContext& ctx, const std::string& key,
+                       std::size_t fallback) {
+  const std::string* value = ctx.job->find(key);
+  if (value == nullptr) return fallback;
+  try {
+    return static_cast<std::size_t>(std::stoull(*value));
+  } catch (const std::exception&) {
+    job_fail(ctx, key + " is not an integer: '" + *value + "'");
+  }
+}
+
+double double_param(const JobContext& ctx, const std::string& key,
+                    double fallback) {
+  const std::string* value = ctx.job->find(key);
+  if (value == nullptr) return fallback;
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    job_fail(ctx, key + " is not a number: '" + *value + "'");
+  }
+}
+
+/// Corpus sizes scale down with NETADV_SCALE like bench_common's trace
+/// counts (full size from scale 0.25 up, floor of 2 below).
+std::size_t scaled_count(std::size_t nominal) {
+  const double scaled =
+      static_cast<double>(nominal) * std::min(1.0, util::bench_scale() * 4.0);
+  return std::max<std::size_t>(static_cast<std::size_t>(scaled), 2);
+}
+
+/// The deterministic-size manifest every adversary experiment in this repo
+/// uses (bench_common and the fig benches pin size_variation = 0).
+abr::VideoManifest job_manifest() {
+  abr::VideoManifest::Params mp;
+  mp.size_variation = 0.0;
+  return abr::VideoManifest{mp};
+}
+
+std::unique_ptr<abr::AbrProtocol> protocol_param(const JobContext& ctx) {
+  const std::string kind = ctx.job->value_or("protocol", "");
+  auto protocol = make_abr_protocol(kind);
+  if (protocol == nullptr) {
+    job_fail(ctx, "unknown protocol '" + kind +
+                      "' (bb | bola | mpc | throughput)");
+  }
+  return protocol;
+}
+
+/// Per-trace regret summary shared by both record-traces paths.
+void write_summary(const JobContext& ctx, const abr::VideoManifest& manifest,
+                   const std::vector<trace::Trace>& traces,
+                   const std::string& path, double* mean_regret) {
+  util::CsvWriter writer{path};
+  writer.write_row(
+      std::vector<std::string>{"trace", "optimal_qoe", "protocol_qoe",
+                               "regret"});
+  double total = 0.0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    auto target = protocol_param(ctx);
+    const double optimal = abr::optimal_playback(manifest, traces[i]).total_qoe;
+    const double got =
+        abr::run_playback(*target, manifest, traces[i]).total_qoe;
+    writer.write_row(std::vector<double>{static_cast<double>(i), optimal, got,
+                                         optimal - got});
+    total += optimal - got;
+  }
+  *mean_regret =
+      traces.empty() ? 0.0 : total / static_cast<double>(traces.size());
+}
+
+JobResult run_gen_traces(const JobContext& ctx) {
+  const std::string kind = ctx.job->value_or("generator", "");
+  const auto generator = make_trace_generator(kind);
+  if (generator == nullptr) {
+    job_fail(ctx, "unknown generator '" + kind + "' (fcc | 3g | random)");
+  }
+  const std::size_t count = scaled_count(size_param(ctx, "count", 100));
+  util::Rng rng{ctx.seed};
+  const std::vector<trace::Trace> traces = generator->generate_many(count, rng);
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_traces.csv"));
+  trace::save_trace_set(traces, result.artifacts.back());
+  result.note = std::to_string(count) + " " + generator->name() + " traces";
+  return result;
+}
+
+JobResult run_train_adversary(const JobContext& ctx) {
+  const std::string adversary = ctx.job->value_or("adversary", "ppo");
+  if (adversary != "ppo") {
+    job_fail(ctx, "train-adversary supports adversary = ppo only; CEM is "
+                  "trace-based — use record-traces with adversary = cem");
+  }
+  auto protocol = protocol_param(ctx);
+  const std::size_t steps =
+      util::scaled_steps(size_param(ctx, "steps", 80000), 256);
+  const abr::VideoManifest manifest = job_manifest();
+  core::AbrAdversaryEnv env{manifest, *protocol};
+  rl::PpoAgent agent =
+      core::train_abr_adversary(env, steps, ctx.seed, nullptr, ctx.pool);
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_adversary.ckpt"));
+  rl::save_checkpoint(agent, result.artifacts.back());
+  result.note = "PPO adversary vs " + protocol->name() + ", " +
+                std::to_string(steps) + " steps";
+  return result;
+}
+
+JobResult run_record_traces(const JobContext& ctx) {
+  const abr::VideoManifest manifest = job_manifest();
+  const std::size_t count = scaled_count(size_param(ctx, "count", 20));
+  const std::string adversary = ctx.job->value_or("adversary", "ppo");
+  std::vector<trace::Trace> traces;
+
+  if (adversary == "cem") {
+    core::CemTraceAdversary::Params params;
+    params.population = size_param(ctx, "population", params.population);
+    const std::size_t nominal_iterations =
+        size_param(ctx, "iterations", params.iterations);
+    params.iterations = std::max<std::size_t>(
+        static_cast<std::size_t>(static_cast<double>(nominal_iterations) *
+                                 std::min(1.0, util::bench_scale())),
+        2);
+    const core::CemTraceAdversary cem{params};
+    // One independent CEM search per trace, stream-forked before dispatch:
+    // the corpus is bit-identical at any thread count.
+    std::vector<util::Rng> streams = util::Rng{ctx.seed}.fork_streams(count);
+    traces.resize(count);
+    const auto search_one = [&](std::size_t i) {
+      auto target = protocol_param(ctx);
+      traces[i] = cem.search(manifest, *target, streams[i]).best_trace;
+    };
+    if (ctx.pool != nullptr) {
+      ctx.pool->parallel_for(count, search_one);
+    } else {
+      for (std::size_t i = 0; i < count; ++i) search_one(i);
+    }
+  } else if (adversary == "ppo") {
+    const std::string* from = ctx.job->find("from");
+    if (from == nullptr) {
+      job_fail(ctx, "record-traces with adversary = ppo needs from = "
+                    "<train-adversary job>");
+    }
+    const std::string checkpoint =
+        ctx.input_ending_with(*from, "_adversary.ckpt");
+    auto topology_protocol = protocol_param(ctx);
+    core::AbrAdversaryEnv env{manifest, *topology_protocol};
+    rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                       core::abr_adversary_ppo_config(), /*seed=*/0};
+    rl::load_checkpoint(agent, checkpoint);
+    traces = core::record_abr_traces(
+        agent, manifest,
+        [&ctx]() { return protocol_param(ctx); }, core::AbrAdversaryEnv::Params{},
+        count, ctx.seed, /*deterministic=*/false, ctx.pool);
+  } else {
+    job_fail(ctx, "unknown adversary '" + adversary + "' (ppo | cem)");
+  }
+
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_traces.csv"));
+  trace::save_trace_set(traces, result.artifacts.back());
+  double mean_regret = 0.0;
+  result.artifacts.push_back(ctx.artifact("_summary.csv"));
+  write_summary(ctx, manifest, traces, result.artifacts.back(), &mean_regret);
+  char note[128];
+  std::snprintf(note, sizeof note, "%zu traces, mean regret %.2f QoE",
+                traces.size(), mean_regret);
+  result.note = note;
+  return result;
+}
+
+JobResult run_replay(const JobContext& ctx) {
+  const std::string* set_job = ctx.job->find("traces");
+  std::string set_path;
+  if (set_job != nullptr) {
+    set_path = ctx.input_ending_with(*set_job, "_traces.csv");
+  } else if (const std::string* file = ctx.job->find("trace_file")) {
+    set_path = *file;
+  } else {
+    job_fail(ctx, "replay needs traces = <trace-set job> or trace_file = ...");
+  }
+  const std::vector<trace::Trace> traces = trace::load_trace_set(set_path);
+  const abr::VideoManifest manifest = job_manifest();
+  const std::vector<double> qoe = abr::qoe_per_trace(
+      [&ctx]() { return protocol_param(ctx); }, manifest, traces, {}, ctx.pool);
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_qoe.csv"));
+  util::CsvWriter writer{result.artifacts.back()};
+  writer.write_row(std::vector<std::string>{"trace", "qoe"});
+  for (std::size_t i = 0; i < qoe.size(); ++i) {
+    writer.write_row(std::vector<double>{static_cast<double>(i), qoe[i]});
+  }
+  char note[128];
+  std::snprintf(note, sizeof note, "%zu replays, mean QoE %.2f", qoe.size(),
+                qoe.empty() ? 0.0 : util::mean(qoe));
+  result.note = note;
+  return result;
+}
+
+JobResult run_robustify_round(const JobContext& ctx) {
+  const abr::VideoManifest manifest = job_manifest();
+
+  // Training corpus: a gen-traces dependency, plus the adversarial trace
+  // sets of any previous rounds (the iterated Section-2.3 loop).
+  std::vector<trace::Trace> corpus;
+  if (const std::string* corpus_from = ctx.job->find("corpus_from")) {
+    corpus = trace::load_trace_set(
+        ctx.input_ending_with(*corpus_from, "_traces.csv"));
+  } else if (const std::string* train_set = ctx.job->find("train_set")) {
+    const auto generator = make_trace_generator(*train_set);
+    if (generator == nullptr) {
+      job_fail(ctx, "unknown train_set '" + *train_set + "'");
+    }
+    util::Rng rng{ctx.seed ^ 0x9e3779b97f4a7c15ULL};
+    corpus = generator->generate_many(
+        scaled_count(size_param(ctx, "corpus_count", 100)), rng);
+  } else {
+    job_fail(ctx, "robustify-round needs corpus_from = <gen-traces job> or "
+                  "train_set = fcc|3g|random");
+  }
+  for (const auto& prev : util::split_list(ctx.job->value_or("traces_from", ""))) {
+    const std::vector<trace::Trace> extra =
+        trace::load_trace_set(ctx.input_ending_with(prev, "_traces.csv"));
+    corpus.insert(corpus.end(), extra.begin(), extra.end());
+  }
+
+  abr::PensieveEnv env{manifest, std::move(corpus)};
+  rl::PpoAgent pensieve = abr::make_pensieve_agent(manifest, ctx.seed);
+  if (const std::string* init = ctx.job->find("init")) {
+    rl::load_checkpoint(pensieve,
+                        ctx.input_ending_with(*init, "_pensieve.ckpt"));
+  }
+
+  core::RobustifyConfig cfg;
+  cfg.protocol_steps =
+      util::scaled_steps(size_param(ctx, "protocol_steps", 150000), 1024);
+  cfg.inject_fraction = double_param(ctx, "inject_fraction", 0.9);
+  if (cfg.inject_fraction <= 0.0 || cfg.inject_fraction >= 1.0) {
+    job_fail(ctx, "inject_fraction must lie in (0, 1) — a round without an "
+                  "adversary phase is plain training");
+  }
+  cfg.adversary_steps =
+      util::scaled_steps(size_param(ctx, "adversary_steps", 80000), 512);
+  cfg.adversarial_traces = scaled_count(size_param(ctx, "traces", 100));
+  cfg.seed = ctx.seed;
+  cfg.pool = ctx.pool;
+  const core::RobustifyResult round = core::robustify_pensieve(pensieve, env, cfg);
+
+  // Held-out evaluation with a *pinned* seed so rounds stay comparable.
+  const std::string eval_kind = ctx.job->value_or("eval_set", "fcc");
+  const auto eval_generator = make_trace_generator(eval_kind);
+  if (eval_generator == nullptr) {
+    job_fail(ctx, "unknown eval_set '" + eval_kind + "'");
+  }
+  util::Rng eval_rng{size_param(ctx, "eval_seed", 20190707)};
+  const std::vector<trace::Trace> eval_traces = eval_generator->generate_many(
+      scaled_count(size_param(ctx, "eval_count", 50)), eval_rng);
+  const std::vector<double> qoe = abr::qoe_per_trace(
+      [&pensieve]() -> std::unique_ptr<abr::AbrProtocol> {
+        return std::make_unique<abr::OwnedPensievePolicy>(pensieve);
+      },
+      manifest, eval_traces, {}, ctx.pool);
+  const double mean_qoe = util::mean(qoe);
+  const double p5_qoe = util::percentile(qoe, 5);
+
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_pensieve.ckpt"));
+  rl::save_checkpoint(pensieve, result.artifacts.back());
+  result.artifacts.push_back(ctx.artifact("_traces.csv"));
+  trace::save_trace_set(round.adversarial_traces, result.artifacts.back());
+  result.artifacts.push_back(ctx.artifact("_metrics.csv"));
+  {
+    util::CsvWriter writer{result.artifacts.back()};
+    writer.write_row(std::vector<std::string>{
+        "mean_qoe", "p5_qoe", "eval_traces", "corpus_traces",
+        "adversarial_traces"});
+    writer.write_row(std::vector<double>{
+        mean_qoe, p5_qoe, static_cast<double>(eval_traces.size()),
+        static_cast<double>(env.traces().size()),
+        static_cast<double>(round.adversarial_traces.size())});
+  }
+  char note[160];
+  std::snprintf(note, sizeof note,
+                "eval mean QoE %.2f, p5 %.2f (%zu adversarial traces added)",
+                mean_qoe, p5_qoe, round.adversarial_traces.size());
+  result.note = note;
+  return result;
+}
+
+}  // namespace
+
+JobRegistry builtin_jobs() {
+  JobRegistry registry;
+  registry.add("gen-traces", run_gen_traces);
+  registry.add("train-adversary", run_train_adversary);
+  registry.add("record-traces", run_record_traces);
+  registry.add("replay", run_replay);
+  registry.add("robustify-round", run_robustify_round);
+  return registry;
+}
+
+std::unique_ptr<abr::AbrProtocol> make_abr_protocol(const std::string& kind) {
+  if (kind == "bb") return std::make_unique<abr::BufferBased>();
+  if (kind == "bola") return std::make_unique<abr::Bola>();
+  if (kind == "mpc") return std::make_unique<abr::RobustMpc>();
+  if (kind == "throughput") return std::make_unique<abr::ThroughputRule>();
+  return nullptr;
+}
+
+std::unique_ptr<trace::TraceGenerator> make_trace_generator(
+    const std::string& kind) {
+  if (kind == "fcc") return std::make_unique<trace::FccLikeGenerator>();
+  if (kind == "3g") return std::make_unique<trace::Hsdpa3gLikeGenerator>();
+  if (kind == "random")
+    return std::make_unique<trace::UniformRandomGenerator>();
+  return nullptr;
+}
+
+}  // namespace netadv::exp

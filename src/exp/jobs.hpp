@@ -1,0 +1,46 @@
+// Built-in campaign job kinds — the paper's recipe steps as executors:
+//
+//   gen-traces       generator=fcc|3g|random  count=N
+//                    -> <id>_traces.csv
+//   train-adversary  protocol=bb|bola|mpc|throughput  steps=N
+//                    -> <id>_adversary.ckpt  (PPO, Section 3 topology)
+//   record-traces    protocol=... count=N  and either from=<train job>
+//                    (roll out its checkpoint) or adversary=cem
+//                    (population=, iterations= — trace-based search;
+//                    searching *is* recording)
+//                    -> <id>_traces.csv, <id>_summary.csv (per-trace regret)
+//   replay           protocol=...  traces=<trace-set job>
+//                    -> <id>_qoe.csv (QoE per trace)
+//   robustify-round  one Section-2.3 round: continue Pensieve from
+//                    init=<prev round> (or fresh), train an adversary
+//                    against it, record traces, retrain on the augmented
+//                    corpus (corpus_from=<gen job> plus traces_from=<prev
+//                    rounds>); protocol_steps=, inject_fraction=,
+//                    adversary_steps=, traces=, eval_set=, eval_count=
+//                    -> <id>_pensieve.ckpt, <id>_traces.csv, <id>_metrics.csv
+//
+// Step budgets and corpus sizes honor NETADV_SCALE exactly like the bench
+// binaries (util::scaled_steps), so `NETADV_SCALE=0.01` smoke-runs a whole
+// campaign. Every executor is a pure function of (params, resolved seed,
+// input artifacts): campaign artifacts are bit-identical at any thread
+// count, and the manifest's provenance hashes stay meaningful.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abr/protocol.hpp"
+#include "exp/scheduler.hpp"
+#include "trace/generators.hpp"
+
+namespace netadv::exp {
+
+/// Registry with every built-in kind above (the CLI's default).
+JobRegistry builtin_jobs();
+
+/// Shared name -> object factories (also used by netadv_cli).
+std::unique_ptr<abr::AbrProtocol> make_abr_protocol(const std::string& kind);
+std::unique_ptr<trace::TraceGenerator> make_trace_generator(
+    const std::string& kind);
+
+}  // namespace netadv::exp

@@ -1,0 +1,110 @@
+#include "exp/manifest.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+
+namespace netadv::exp {
+
+namespace {
+
+constexpr const char* kHeader =
+    "campaign,job,kind,status,params_hash,inputs_hash,seconds,threads,scale,"
+    "artifacts";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream in{line};
+  while (std::getline(in, cell, sep)) cells.push_back(cell);
+  if (!line.empty() && line.back() == sep) cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+std::string manifest_path(const std::string& out_dir) {
+  return out_dir + "/" + kManifestFilename;
+}
+
+std::vector<ManifestEntry> read_manifest(const std::string& path) {
+  std::ifstream in{path};
+  std::vector<ManifestEntry> entries;
+  if (!in) return entries;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first) {
+      first = false;
+      continue;  // header
+    }
+    const std::vector<std::string> cells = split(line, ',');
+    // A kill mid-append can tear the last line; anything that does not have
+    // the full column set is ignored rather than trusted.
+    if (cells.size() != 10) continue;
+    ManifestEntry entry;
+    entry.campaign = cells[0];
+    entry.job = cells[1];
+    entry.kind = cells[2];
+    entry.status = cells[3];
+    entry.params_hash = cells[4];
+    entry.inputs_hash = cells[5];
+    try {
+      entry.seconds = std::stod(cells[6]);
+      entry.threads = static_cast<std::size_t>(std::stoul(cells[7]));
+      entry.scale = std::stod(cells[8]);
+    } catch (const std::exception&) {
+      continue;  // torn numeric cell
+    }
+    for (auto& artifact : split(cells[9], ';')) {
+      if (!artifact.empty()) entry.artifacts.push_back(std::move(artifact));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+ManifestWriter::ManifestWriter(const std::string& path) : path_(path) {
+  file_ = std::fopen(path.c_str(), "w");
+  if (file_ == nullptr) {
+    throw std::runtime_error{"ManifestWriter: cannot open " + path};
+  }
+  std::fprintf(file_, "%s\n", kHeader);
+  std::fflush(file_);
+}
+
+ManifestWriter::~ManifestWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ManifestWriter::append(const ManifestEntry& entry) {
+  std::string artifacts;
+  for (std::size_t i = 0; i < entry.artifacts.size(); ++i) {
+    if (i > 0) artifacts += ';';
+    artifacts += entry.artifacts[i];
+  }
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::fprintf(file_, "%s,%s,%s,%s,%s,%s,%.3f,%zu,%g,%s\n",
+               entry.campaign.c_str(), entry.job.c_str(), entry.kind.c_str(),
+               entry.status.c_str(), entry.params_hash.c_str(),
+               entry.inputs_hash.c_str(), entry.seconds, entry.threads,
+               entry.scale, artifacts.c_str());
+  std::fflush(file_);
+}
+
+std::uint64_t hash_input_artifacts(const std::vector<std::string>& paths) {
+  std::uint64_t state = util::kFnvOffsetBasis;
+  for (const auto& path : paths) {
+    state = util::fnv1a64_accumulate(state, path);
+    state = util::fnv1a64_accumulate(state, "\n");
+    // Fold the file digest in via its hex rendering so the combination stays
+    // a plain byte-stream fold.
+    state = util::fnv1a64_accumulate(state,
+                                     util::hash_hex(util::fnv1a64_file(path)));
+  }
+  return state;
+}
+
+}  // namespace netadv::exp

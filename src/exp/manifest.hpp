@@ -1,0 +1,74 @@
+// The campaign manifest: one CSV line per job outcome, appended (and
+// flushed) the moment the job settles, so a killed campaign still documents
+// everything it finished. A re-run with --resume reads the previous
+// manifest and skips any completed job whose params_hash and inputs_hash
+// still match and whose artifacts still exist — the provenance check that
+// makes campaigns resumable without trusting timestamps.
+//
+// Columns:
+//   campaign, job, kind, status, params_hash, inputs_hash, seconds,
+//   threads, scale, artifacts
+// `status` is completed | skipped-cached | failed | blocked; `artifacts` is
+// a ';'-joined path list; threads/scale record the NETADV_* knobs in effect.
+// Line order is completion order (nondeterministic across thread counts);
+// resume reads are order-independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace netadv::exp {
+
+struct ManifestEntry {
+  std::string campaign;
+  std::string job;
+  std::string kind;
+  std::string status;
+  std::string params_hash;  ///< util::hash_hex of job_params_hash
+  std::string inputs_hash;  ///< util::hash_hex over dependency artifacts
+  double seconds = 0.0;
+  std::size_t threads = 1;
+  double scale = 1.0;
+  std::vector<std::string> artifacts;
+};
+
+inline constexpr const char* kManifestFilename = "campaign_manifest.csv";
+
+/// Path of the manifest inside a campaign's out_dir.
+std::string manifest_path(const std::string& out_dir);
+
+/// Parse a manifest written by ManifestWriter. Missing file -> empty vector;
+/// a torn final line (the writer died mid-append) is skipped, not fatal.
+std::vector<ManifestEntry> read_manifest(const std::string& path);
+
+/// Thread-safe appending writer. Creates/truncates the file and writes the
+/// header on construction; every append is serialized and flushed so
+/// concurrent jobs interleave whole lines only and a kill loses at most the
+/// line in flight.
+class ManifestWriter {
+ public:
+  explicit ManifestWriter(const std::string& path);
+  ~ManifestWriter();
+
+  ManifestWriter(const ManifestWriter&) = delete;
+  ManifestWriter& operator=(const ManifestWriter&) = delete;
+
+  void append(const ManifestEntry& entry);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mutex_;
+};
+
+/// Combined fingerprint of a job's inputs: FNV-1a folded over each input
+/// artifact path and file content, in order. Missing files throw.
+std::uint64_t hash_input_artifacts(const std::vector<std::string>& paths);
+
+}  // namespace netadv::exp

@@ -1,0 +1,290 @@
+#include "exp/scheduler.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/config.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+
+namespace netadv::exp {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) && !ec;
+}
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+std::string JobContext::artifact(const std::string& suffix) const {
+  return out_dir + "/" + job->id + suffix;
+}
+
+const std::vector<std::string>& JobContext::artifacts_of(
+    const std::string& id) const {
+  for (const auto& [dep, artifacts] : inputs) {
+    if (dep == id) return artifacts;
+  }
+  throw std::runtime_error{"job '" + job->id + "': '" + id +
+                           "' is not one of its dependencies"};
+}
+
+std::string JobContext::input_ending_with(const std::string& id,
+                                          const std::string& suffix) const {
+  const std::vector<std::string>& artifacts = artifacts_of(id);
+  const std::string* found = nullptr;
+  for (const auto& path : artifacts) {
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      if (found != nullptr) {
+        throw std::runtime_error{"job '" + job->id + "': dependency '" + id +
+                                 "' has multiple artifacts ending with " +
+                                 suffix};
+      }
+      found = &path;
+    }
+  }
+  if (found == nullptr) {
+    throw std::runtime_error{"job '" + job->id + "': dependency '" + id +
+                             "' has no artifact ending with " + suffix};
+  }
+  return *found;
+}
+
+void JobRegistry::add(const std::string& kind, JobExecutor executor) {
+  executors_[kind] = std::move(executor);
+}
+
+const JobExecutor* JobRegistry::find(const std::string& kind) const noexcept {
+  const auto it = executors_.find(kind);
+  return it == executors_.end() ? nullptr : &it->second;
+}
+
+const JobOutcome& CampaignReport::outcome_of(const std::string& id) const {
+  for (const auto& outcome : outcomes) {
+    if (outcome.id == id) return outcome;
+  }
+  throw std::runtime_error{"campaign report has no job '" + id + "'"};
+}
+
+CampaignReport run_campaign(const Campaign& campaign,
+                            const JobRegistry& registry,
+                            const SchedulerOptions& options) {
+  const std::vector<std::vector<std::size_t>> waves =
+      topological_waves(campaign);
+  const std::vector<std::uint64_t> seeds = resolve_job_seeds(campaign);
+  for (const auto& job : campaign.jobs) {
+    if (registry.find(job.kind) == nullptr) {
+      throw std::runtime_error{"campaign '" + campaign.name +
+                               "': no executor registered for kind '" +
+                               job.kind + "' (job '" + job.id + "')"};
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(campaign.out_dir, ec);
+  if (ec) {
+    throw std::runtime_error{"campaign '" + campaign.name +
+                             "': cannot create out_dir '" + campaign.out_dir +
+                             "': " + ec.message()};
+  }
+
+  const std::vector<ManifestEntry> prior =
+      options.resume ? read_manifest(manifest_path(campaign.out_dir))
+                     : std::vector<ManifestEntry>{};
+  ManifestWriter manifest{manifest_path(campaign.out_dir)};
+
+  CampaignReport report;
+  report.manifest = manifest.path();
+  report.outcomes.resize(campaign.jobs.size());
+  const std::size_t threads =
+      options.pool != nullptr ? options.pool->thread_count() : 1;
+
+  const auto run_job = [&](std::size_t j) {
+    const JobSpec& job = campaign.jobs[j];
+    JobOutcome& outcome = report.outcomes[j];
+    outcome.id = job.id;
+
+    ManifestEntry entry;
+    entry.campaign = campaign.name;
+    entry.job = job.id;
+    entry.kind = job.kind;
+    entry.threads = threads;
+    entry.scale = util::bench_scale();
+
+    // Dependencies settled in earlier waves; any unsatisfied one blocks us.
+    JobContext ctx;
+    ctx.campaign = &campaign;
+    ctx.job = &job;
+    ctx.out_dir = campaign.out_dir;
+    ctx.seed = seeds[j];
+    ctx.pool = options.pool;
+    bool deps_ok = true;
+    for (const auto& dep : job.after) {
+      const JobOutcome& dep_outcome =
+          report.outcomes[campaign.job_index(dep)];
+      if (!dep_outcome.satisfied()) {
+        deps_ok = false;
+        break;
+      }
+      ctx.inputs.emplace_back(dep, dep_outcome.result.artifacts);
+    }
+    if (!deps_ok) {
+      outcome.status = "blocked";
+      entry.status = outcome.status;
+      manifest.append(entry);
+      util::log_warn("campaign %s: %s blocked by a failed dependency",
+                     campaign.name.c_str(), job.id.c_str());
+      return;
+    }
+
+    entry.params_hash =
+        util::hash_hex(job_params_hash(campaign, job, ctx.seed));
+    std::vector<std::string> input_files;
+    for (const auto& [dep, artifacts] : ctx.inputs) {
+      input_files.insert(input_files.end(), artifacts.begin(),
+                         artifacts.end());
+    }
+    entry.inputs_hash = util::hash_hex(hash_input_artifacts(input_files));
+
+    // Resume: a completed prior entry with identical provenance and
+    // still-present artifacts is reused, not re-run.
+    if (options.resume) {
+      for (const auto& cached : prior) {
+        if (cached.campaign != campaign.name || cached.job != job.id) continue;
+        if (cached.status != "completed" && cached.status != "skipped-cached") {
+          continue;
+        }
+        if (cached.params_hash != entry.params_hash ||
+            cached.inputs_hash != entry.inputs_hash) {
+          continue;
+        }
+        bool artifacts_present = true;
+        for (const auto& path : cached.artifacts) {
+          if (!file_exists(path)) {
+            artifacts_present = false;
+            break;
+          }
+        }
+        if (!artifacts_present) continue;
+        outcome.status = "skipped-cached";
+        outcome.result.artifacts = cached.artifacts;
+        entry.status = outcome.status;
+        entry.artifacts = cached.artifacts;
+        manifest.append(entry);
+        util::log_info("campaign %s: %s skipped (cached, params %s)",
+                       campaign.name.c_str(), job.id.c_str(),
+                       entry.params_hash.c_str());
+        return;
+      }
+    }
+
+    const JobExecutor* executor = registry.find(job.kind);
+    const auto start = std::chrono::steady_clock::now();
+    try {
+      outcome.result = (*executor)(ctx);
+      outcome.status = "completed";
+    } catch (const std::exception& e) {
+      outcome.status = "failed";
+      outcome.error = e.what();
+    }
+    outcome.seconds = seconds_since(start);
+    entry.status = outcome.status;
+    entry.seconds = outcome.seconds;
+    entry.artifacts = outcome.result.artifacts;
+    manifest.append(entry);
+    if (outcome.status == "failed") {
+      util::log_error("campaign %s: %s FAILED after %.1fs: %s",
+                      campaign.name.c_str(), job.id.c_str(), outcome.seconds,
+                      outcome.error.c_str());
+    } else {
+      util::log_info("campaign %s: %s completed in %.1fs%s%s",
+                     campaign.name.c_str(), job.id.c_str(), outcome.seconds,
+                     outcome.result.note.empty() ? "" : " — ",
+                     outcome.result.note.c_str());
+    }
+  };
+
+  for (const auto& wave : waves) {
+    if (options.pool != nullptr && wave.size() > 1) {
+      options.pool->parallel_for(
+          wave.size(), [&](std::size_t i) { run_job(wave[i]); });
+    } else {
+      for (const std::size_t j : wave) run_job(j);
+    }
+  }
+
+  for (const auto& outcome : report.outcomes) {
+    if (outcome.status == "completed") ++report.completed;
+    else if (outcome.status == "skipped-cached") ++report.skipped;
+    else if (outcome.status == "failed") ++report.failed;
+    else ++report.blocked;
+  }
+  util::log_info(
+      "campaign %s: %zu completed, %zu cached, %zu failed, %zu blocked "
+      "(manifest: %s)",
+      campaign.name.c_str(), report.completed, report.skipped, report.failed,
+      report.blocked, report.manifest.c_str());
+  return report;
+}
+
+std::string format_plan(const Campaign& campaign, bool resume) {
+  const std::vector<std::vector<std::size_t>> waves =
+      topological_waves(campaign);
+  const std::vector<std::uint64_t> seeds = resolve_job_seeds(campaign);
+  const std::vector<ManifestEntry> prior =
+      resume ? read_manifest(manifest_path(campaign.out_dir))
+             : std::vector<ManifestEntry>{};
+
+  std::ostringstream out;
+  out << "campaign " << campaign.name << " (seed " << campaign.seed << ", "
+      << campaign.jobs.size() << " jobs, " << waves.size()
+      << " waves, out_dir " << campaign.out_dir << ")\n";
+  for (std::size_t w = 0; w < waves.size(); ++w) {
+    out << "wave " << w + 1 << ":\n";
+    for (const std::size_t j : waves[w]) {
+      const JobSpec& job = campaign.jobs[j];
+      out << "  " << job.id << "  [" << job.kind << ", seed " << seeds[j];
+      if (!job.after.empty()) {
+        out << ", after";
+        for (const auto& dep : job.after) out << " " << dep;
+      }
+      if (resume) {
+        const std::string params_hash =
+            util::hash_hex(job_params_hash(campaign, job, seeds[j]));
+        bool cached = false;
+        for (const auto& entry : prior) {
+          if (entry.campaign != campaign.name || entry.job != job.id) continue;
+          if (entry.status != "completed" && entry.status != "skipped-cached") {
+            continue;
+          }
+          if (entry.params_hash != params_hash) continue;
+          cached = true;
+          for (const auto& path : entry.artifacts) {
+            if (!file_exists(path)) {
+              cached = false;
+              break;
+            }
+          }
+          if (cached) break;
+        }
+        out << (cached ? ", cached if inputs match" : ", will run");
+      }
+      out << "]\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace netadv::exp

@@ -1,0 +1,119 @@
+// The campaign DAG scheduler.
+//
+// Jobs are topologically ordered into waves (campaign.hpp) and each wave's
+// jobs run concurrently on a util::ThreadPool — per-wave fan-out with the
+// same determinism contract as every other parallel region in netadv: job
+// seeds are resolved on the caller before dispatch (Rng::fork_streams in
+// declaration order), every job writes only its own artifacts and outcome
+// slot, so campaign artifacts are bit-identical at any thread count. Only
+// the manifest's line order (completion order) and wall-clock columns vary.
+//
+// Resumability: before running a job the scheduler fingerprints its params
+// (job_params_hash) and its dependencies' artifact files
+// (hash_input_artifacts). Under --resume, a completed manifest entry with
+// matching fingerprints whose artifacts still exist short-circuits the job
+// to `skipped-cached` — and because downstream inputs_hash values are
+// recomputed from the actual files, a re-run job with changed outputs
+// automatically invalidates its dependents.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/manifest.hpp"
+#include "util/thread_pool.hpp"
+
+namespace netadv::exp {
+
+/// What a job executor hands back: the artifact files it wrote (absolute or
+/// out_dir-relative paths as given) and an optional one-line summary.
+struct JobResult {
+  std::vector<std::string> artifacts;
+  std::string note;
+};
+
+/// Everything an executor may depend on. Executors must be pure functions of
+/// this context (plus their input artifacts) for the determinism and resume
+/// contracts to hold.
+struct JobContext {
+  const Campaign* campaign = nullptr;
+  const JobSpec* job = nullptr;
+  std::string out_dir;
+  std::uint64_t seed = 0;  ///< resolved per-job seed
+  /// Artifacts of each dependency, in `after` order.
+  std::vector<std::pair<std::string, std::vector<std::string>>> inputs;
+  /// Pool the wave runs on (nested parallel_for degrades to inline — safe to
+  /// pass straight into train/record APIs).
+  util::ThreadPool* pool = nullptr;
+
+  /// `<out_dir>/<job id><suffix>` — the canonical artifact naming.
+  std::string artifact(const std::string& suffix) const;
+  /// Artifacts of dependency `id`; throws if `id` is not a dependency.
+  const std::vector<std::string>& artifacts_of(const std::string& id) const;
+  /// The single artifact of dependency `id` whose name ends with `suffix`;
+  /// throws if absent or ambiguous.
+  std::string input_ending_with(const std::string& id,
+                                const std::string& suffix) const;
+};
+
+using JobExecutor = std::function<JobResult(const JobContext&)>;
+
+/// kind -> executor. Start from builtin_jobs() (jobs.hpp) and add
+/// campaign-specific kinds (bench_fig4 registers its cell executor).
+class JobRegistry {
+ public:
+  void add(const std::string& kind, JobExecutor executor);
+  const JobExecutor* find(const std::string& kind) const noexcept;
+
+ private:
+  std::map<std::string, JobExecutor> executors_;
+};
+
+struct SchedulerOptions {
+  bool resume = false;
+  /// Null runs jobs sequentially in wave order.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct JobOutcome {
+  std::string id;
+  std::string status;  ///< completed | skipped-cached | failed | blocked
+  double seconds = 0.0;
+  JobResult result;    ///< artifacts (cached ones for skipped-cached)
+  std::string error;   ///< failure reason when status == failed
+
+  bool satisfied() const noexcept {
+    return status == "completed" || status == "skipped-cached";
+  }
+};
+
+struct CampaignReport {
+  std::vector<JobOutcome> outcomes;  ///< job declaration order
+  std::string manifest;              ///< manifest file path
+  std::size_t completed = 0;
+  std::size_t skipped = 0;
+  std::size_t failed = 0;
+  std::size_t blocked = 0;
+
+  bool ok() const noexcept { return failed == 0 && blocked == 0; }
+  const JobOutcome& outcome_of(const std::string& id) const;
+};
+
+/// Execute the campaign. Creates out_dir, writes the manifest as jobs
+/// settle, and never throws for job-level failures (they surface as
+/// failed/blocked outcomes); throws std::runtime_error for campaign-level
+/// problems (unknown kind, unwritable out_dir, cycles).
+CampaignReport run_campaign(const Campaign& campaign,
+                            const JobRegistry& registry,
+                            const SchedulerOptions& options = {});
+
+/// Human-readable execution plan (the --dry-run output): waves, job kinds,
+/// resolved seeds, dependencies — plus, with `resume`, which jobs currently
+/// hold a reusable manifest entry. Touches no artifacts.
+std::string format_plan(const Campaign& campaign, bool resume = false);
+
+}  // namespace netadv::exp

@@ -66,4 +66,40 @@ Trace load_trace(const std::string& path) {
   return Trace{std::move(segments)};
 }
 
+void save_trace_set(const std::vector<Trace>& traces, const std::string& path) {
+  util::CsvWriter writer{path};
+  writer.write_row(std::vector<std::string>{
+      "trace", "duration_s", "bandwidth_mbps", "latency_ms", "loss_rate"});
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (const auto& s : traces[i].segments()) {
+      writer.write_row(std::vector<double>{static_cast<double>(i), s.duration_s,
+                                           s.bandwidth_mbps, s.latency_ms,
+                                           s.loss_rate});
+    }
+  }
+}
+
+std::vector<Trace> load_trace_set(const std::string& path) {
+  const util::CsvTable table = util::read_csv(path);
+  if (table.header.size() != 5) {
+    throw std::runtime_error{"load_trace_set: expected 5 columns in " + path};
+  }
+  std::vector<Trace> traces;
+  for (const auto& row : table.rows) {
+    const auto index = static_cast<std::size_t>(row[0]);
+    if (index >= traces.size()) {
+      if (index != traces.size()) {
+        throw std::runtime_error{"load_trace_set: non-contiguous trace index in " +
+                                 path};
+      }
+      traces.emplace_back();
+    } else if (index + 1 != traces.size()) {
+      throw std::runtime_error{"load_trace_set: out-of-order trace index in " +
+                               path};
+    }
+    traces.back().append({row[1], row[2], row[3], row[4]});
+  }
+  return traces;
+}
+
 }  // namespace netadv::trace

@@ -54,4 +54,14 @@ class Trace {
 void save_trace(const Trace& trace, const std::string& path);
 Trace load_trace(const std::string& path);
 
+/// Save/load a whole corpus in one CSV (the artifact format of
+/// netadv::exp trace-set jobs): header
+/// `trace,duration_s,bandwidth_mbps,latency_ms,loss_rate`, one segment per
+/// row, rows grouped by 0-based trace index in ascending order. Unlike the
+/// bandwidth-only corpus dumps some benches emit, this round-trips every
+/// segment field, so a loaded set replays exactly. Throws std::runtime_error
+/// on I/O or format errors (including out-of-order trace indices).
+void save_trace_set(const std::vector<Trace>& traces, const std::string& path);
+std::vector<Trace> load_trace_set(const std::string& path);
+
 }  // namespace netadv::trace

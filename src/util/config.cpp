@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/log.hpp"
 
 namespace netadv::util {
 
@@ -22,8 +26,19 @@ double bench_scale() noexcept {
 std::string bench_output_dir() {
   std::string dir = "bench_out";
   if (const char* env = std::getenv("NETADV_OUT_DIR")) dir = env;
+  // Serialized: concurrent first calls from pool threads (campaign jobs all
+  // resolve their artifact paths through here) must not race the check/create
+  // inside create_directories across filesystems that aren't atomic about it.
+  static std::mutex mutex;
+  const std::lock_guard<std::mutex> lock{mutex};
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    log_error("bench_output_dir: cannot create '%s': %s", dir.c_str(),
+              ec.message().c_str());
+    throw std::runtime_error{"bench_output_dir: cannot create '" + dir +
+                             "': " + ec.message()};
+  }
   return dir;
 }
 

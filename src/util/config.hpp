@@ -11,7 +11,10 @@ namespace netadv::util {
 double bench_scale() noexcept;
 
 /// Directory where benches drop CSV artifacts. Reads NETADV_OUT_DIR
-/// (default "bench_out"). The directory is created if missing.
+/// (default "bench_out"). The directory is created if missing; creation is
+/// serialized so concurrent first calls from pool threads cannot race, and
+/// failure to create it is a logged hard error (std::runtime_error), never a
+/// silently returned unusable path.
 std::string bench_output_dir();
 
 /// Scale a nominal step budget by bench_scale(), with a floor so smoke runs

@@ -1,0 +1,28 @@
+#include "util/hash.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace netadv::util {
+
+std::uint64_t fnv1a64_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) throw std::runtime_error{"fnv1a64_file: cannot open " + path};
+  std::uint64_t state = kFnvOffsetBasis;
+  char buffer[1 << 14];
+  while (in.read(buffer, sizeof buffer) || in.gcount() > 0) {
+    state = fnv1a64_accumulate(
+        state, std::string_view{buffer, static_cast<std::size_t>(in.gcount())});
+  }
+  return state;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+}  // namespace netadv::util

@@ -1,0 +1,38 @@
+// Content hashing for experiment provenance: 64-bit FNV-1a over strings and
+// files. Used by netadv::exp to fingerprint job parameters and input
+// artifacts in the campaign manifest, so a resumed campaign can prove a
+// cached result is still valid. Not cryptographic — a cheap, dependency-free
+// stable digest is all provenance needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace netadv::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Fold `data` into a running FNV-1a state (start from kFnvOffsetBasis).
+constexpr std::uint64_t fnv1a64_accumulate(std::uint64_t state,
+                                           std::string_view data) noexcept {
+  for (const char c : data) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// FNV-1a of a whole string.
+constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  return fnv1a64_accumulate(kFnvOffsetBasis, data);
+}
+
+/// FNV-1a over a file's bytes; throws std::runtime_error if unreadable.
+std::uint64_t fnv1a64_file(const std::string& path);
+
+/// Fixed-width (16 hex digits) rendering used in manifests.
+std::string hash_hex(std::uint64_t hash);
+
+}  // namespace netadv::util

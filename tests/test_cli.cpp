@@ -1,0 +1,128 @@
+// End-to-end tests of the netadv_cli binary: the usage/exit-code contract
+// (0 success, 1 runtime error, 2 usage error) and the gen / eval /
+// mm-export / campaign --dry-run commands. The binary path is injected at
+// configure time via NETADV_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+std::string cli_path() { return NETADV_CLI_PATH; }
+
+std::string out_dir() {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "netadv_cli_test").string();
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Run the CLI with `args`, capture stdout+stderr into `output`, and return
+/// the exit code (-1 if the process did not exit normally).
+int run_cli(const std::string& args, std::string* output = nullptr) {
+  const std::string capture = out_dir() + "/last_output.txt";
+  const std::string command =
+      cli_path() + " " + args + " > " + capture + " 2>&1";
+  const int status = std::system(command.c_str());
+  if (output != nullptr) {
+    std::ifstream in{capture};
+    output->assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  if (!WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+TEST(Cli, NoArgumentsIsAUsageError) {
+  std::string output;
+  EXPECT_EQ(run_cli("", &output), 2);
+  EXPECT_NE(output.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsAUsageError) {
+  EXPECT_EQ(run_cli("frobnicate"), 2);
+}
+
+TEST(Cli, UnknownProtocolIsAUsageError) {
+  EXPECT_EQ(run_cli("eval no-such-protocol /dev/null"), 2);
+}
+
+TEST(Cli, GenWritesTraceFiles) {
+  const std::string prefix = out_dir() + "/gen";
+  std::string output;
+  ASSERT_EQ(run_cli("gen random 2 " + prefix, &output), 0);
+  EXPECT_TRUE(std::filesystem::exists(prefix + "_0.csv"));
+  EXPECT_TRUE(std::filesystem::exists(prefix + "_1.csv"));
+  EXPECT_NE(output.find("wrote"), std::string::npos);
+}
+
+TEST(Cli, EvalReportsQoeOnAGeneratedTrace) {
+  const std::string prefix = out_dir() + "/eval";
+  ASSERT_EQ(run_cli("gen fcc 1 " + prefix), 0);
+  std::string output;
+  EXPECT_EQ(run_cli("eval bb " + prefix + "_0.csv", &output), 0);
+  EXPECT_NE(output.find("QoE"), std::string::npos);
+  EXPECT_NE(output.find("offline optimum"), std::string::npos);
+}
+
+TEST(Cli, EvalOnMissingTraceIsARuntimeError) {
+  std::string output;
+  EXPECT_EQ(run_cli("eval bb /tmp/netadv_no_such_trace.csv", &output), 1);
+  EXPECT_NE(output.find("error:"), std::string::npos);
+}
+
+TEST(Cli, MahimahiExportRoundTrips) {
+  const std::string prefix = out_dir() + "/mm";
+  ASSERT_EQ(run_cli("gen 3g 1 " + prefix), 0);
+  const std::string exported = out_dir() + "/mm.trace";
+  EXPECT_EQ(run_cli("mm-export " + prefix + "_0.csv " + exported), 0);
+  EXPECT_TRUE(std::filesystem::exists(exported));
+}
+
+TEST(Cli, CampaignDryRunPrintsThePlanWithoutArtifacts) {
+  const std::string spec = out_dir() + "/dry.campaign";
+  const std::string campaign_out = out_dir() + "/dry_out";
+  std::filesystem::remove_all(campaign_out);
+  std::ofstream{spec} << "[campaign]\nname = dry\nout_dir = " << campaign_out
+                      << "\n[job corpus]\nkind = gen-traces\n"
+                      << "generator = random\ncount = 2\n"
+                      << "[job replay-bb]\nkind = replay\nafter = corpus\n"
+                      << "traces = corpus\nprotocol = bb\n";
+  std::string output;
+  EXPECT_EQ(run_cli("campaign " + spec + " --dry-run", &output), 0);
+  EXPECT_NE(output.find("wave 1"), std::string::npos);
+  EXPECT_NE(output.find("wave 2"), std::string::npos);
+  EXPECT_NE(output.find("replay-bb"), std::string::npos);
+  // Dry runs must not create the out_dir or any artifacts.
+  EXPECT_FALSE(std::filesystem::exists(campaign_out));
+}
+
+TEST(Cli, CampaignRunsAndResumes) {
+  const std::string spec = out_dir() + "/run.campaign";
+  const std::string campaign_out = out_dir() + "/run_out";
+  std::filesystem::remove_all(campaign_out);
+  std::ofstream{spec} << "[campaign]\nname = run\nout_dir = " << campaign_out
+                      << "\n[job corpus]\nkind = gen-traces\n"
+                      << "generator = random\ncount = 2\n";
+  std::string output;
+  EXPECT_EQ(run_cli("campaign " + spec, &output), 0);
+  EXPECT_NE(output.find("1 completed"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(campaign_out + "/corpus_traces.csv"));
+  EXPECT_EQ(run_cli("campaign " + spec + " --resume", &output), 0);
+  EXPECT_NE(output.find("1 cached"), std::string::npos);
+}
+
+TEST(Cli, CampaignOnMissingSpecIsARuntimeError) {
+  EXPECT_EQ(run_cli("campaign /tmp/netadv_no_such.campaign"), 1);
+}
+
+TEST(Cli, CampaignUnknownFlagIsAUsageError) {
+  EXPECT_EQ(run_cli("campaign spec --frobnicate"), 2);
+}
+
+}  // namespace

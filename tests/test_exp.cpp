@@ -1,0 +1,460 @@
+// Unit tests for netadv::exp — the campaign spec parser, grid expansion,
+// provenance hashing, the DAG scheduler's determinism/resume contracts, and
+// the spec/hash utilities they build on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/campaign.hpp"
+#include "exp/jobs.hpp"
+#include "exp/manifest.hpp"
+#include "exp/scheduler.hpp"
+#include "trace/trace.hpp"
+#include "util/hash.hpp"
+#include "util/spec.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace netadv;
+
+std::string temp_dir(const std::string& name) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path};
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+// ---------------------------------------------------------------- spec
+
+TEST(Spec, ParsesSectionsEntriesAndComments) {
+  const util::SpecFile spec = util::parse_spec_text(
+      "# a comment\n"
+      "[campaign]\n"
+      "name = demo\n"
+      "\n"
+      "[job first]\n"
+      "kind = gen-traces\n"
+      "count = 12\n",
+      "inline");
+  ASSERT_EQ(spec.sections.size(), 2u);
+  EXPECT_EQ(spec.sections[0].name, "campaign");
+  EXPECT_TRUE(spec.sections[0].label.empty());
+  EXPECT_EQ(spec.sections[0].value_or("name", ""), "demo");
+  EXPECT_EQ(spec.sections[1].name, "job");
+  EXPECT_EQ(spec.sections[1].label, "first");
+  EXPECT_EQ(spec.sections[1].value_or("count", ""), "12");
+  EXPECT_FALSE(spec.sections[1].has("missing"));
+}
+
+TEST(Spec, LastValueWinsOnRepeatedKey) {
+  const util::SpecFile spec =
+      util::parse_spec_text("[s]\nk = a\nk = b\n", "inline");
+  EXPECT_EQ(spec.sections[0].value_or("k", ""), "b");
+}
+
+TEST(Spec, RejectsEntryBeforeAnySection) {
+  EXPECT_THROW(util::parse_spec_text("k = v\n", "inline"), std::runtime_error);
+}
+
+TEST(Spec, RejectsMalformedLine) {
+  EXPECT_THROW(util::parse_spec_text("[s]\nnot a kv line\n", "inline"),
+               std::runtime_error);
+}
+
+TEST(Spec, SplitListTrimsAndDropsEmpties) {
+  const std::vector<std::string> items = util::split_list(" a, b ,, c ");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], "a");
+  EXPECT_EQ(items[1], "b");
+  EXPECT_EQ(items[2], "c");
+}
+
+// ---------------------------------------------------------------- hash
+
+TEST(Hash, MatchesKnownFnv1aVector) {
+  // Standard FNV-1a 64-bit test vector.
+  EXPECT_EQ(util::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(util::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Hash, HexIsFixedWidth) {
+  EXPECT_EQ(util::hash_hex(0), "0000000000000000");
+  EXPECT_EQ(util::hash_hex(0xabcull), "0000000000000abc");
+}
+
+TEST(Hash, FileHashTracksContent) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_hash_test.txt")
+          .string();
+  std::ofstream{path} << "hello";
+  const std::uint64_t first = util::fnv1a64_file(path);
+  EXPECT_EQ(first, util::fnv1a64("hello"));
+  std::ofstream{path} << "other";
+  EXPECT_NE(util::fnv1a64_file(path), first);
+  EXPECT_THROW(util::fnv1a64_file(path + ".missing"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------- campaign
+
+exp::Campaign campaign_from(const std::string& text) {
+  return exp::parse_campaign(util::parse_spec_text(text, "inline"));
+}
+
+TEST(Campaign, ParsesJobsAndDependencies) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = demo\nseed = 5\nout_dir = /tmp/x\n"
+      "[job a]\nkind = gen-traces\n"
+      "[job b]\nkind = replay\nafter = a\ntraces = a\n");
+  EXPECT_EQ(c.name, "demo");
+  EXPECT_EQ(c.seed, 5u);
+  EXPECT_EQ(c.out_dir, "/tmp/x");
+  ASSERT_EQ(c.jobs.size(), 2u);
+  ASSERT_EQ(c.jobs[1].after.size(), 1u);
+  EXPECT_EQ(c.jobs[1].after[0], "a");
+}
+
+TEST(Campaign, RejectsMissingHeaderKindUnknownDepAndDuplicates) {
+  EXPECT_THROW(campaign_from("[job a]\nkind = replay\n"), std::runtime_error);
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n[job a]\ncount = 1\n"),
+               std::runtime_error);
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n"
+                             "[job a]\nkind = replay\nafter = ghost\n"),
+               std::runtime_error);
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n"
+                             "[job a]\nkind = replay\n"
+                             "[job a]\nkind = replay\n"),
+               std::runtime_error);
+}
+
+TEST(Campaign, RejectsCycles) {
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n"
+                             "[job a]\nkind = replay\nafter = b\n"
+                             "[job b]\nkind = replay\nafter = a\n"),
+               std::runtime_error);
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n"
+                             "[job a]\nkind = replay\nafter = a\n"),
+               std::runtime_error);
+}
+
+TEST(Campaign, GridExpandsPpoPairsAndCemSingles) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job sweep]\nkind = grid\nprotocols = bb, mpc\n"
+      "adversaries = ppo, cem\nseeds = 3\ncount = 9\n");
+  // 2 protocols x (ppo -> 2 jobs, cem -> 1 job) x 1 seed.
+  ASSERT_EQ(c.jobs.size(), 6u);
+  const std::size_t train = c.job_index("sweep-bb-ppo-s3-train");
+  const std::size_t record = c.job_index("sweep-bb-ppo-s3");
+  const std::size_t cem = c.job_index("sweep-mpc-cem-s3");
+  ASSERT_NE(train, static_cast<std::size_t>(-1));
+  ASSERT_NE(record, static_cast<std::size_t>(-1));
+  ASSERT_NE(cem, static_cast<std::size_t>(-1));
+  EXPECT_EQ(c.jobs[train].kind, "train-adversary");
+  EXPECT_EQ(c.jobs[train].seed, 3u);
+  EXPECT_EQ(c.jobs[record].value_or("from", ""), "sweep-bb-ppo-s3-train");
+  ASSERT_EQ(c.jobs[record].after.size(), 1u);
+  EXPECT_EQ(c.jobs[record].after[0], "sweep-bb-ppo-s3-train");
+  EXPECT_EQ(c.jobs[cem].value_or("adversary", ""), "cem");
+  // Shared params forward to every point.
+  EXPECT_EQ(c.jobs[record].value_or("count", ""), "9");
+}
+
+TEST(Campaign, GridIdResolvesAsDependencyGroup) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job sweep]\nkind = grid\nprotocols = bb\nadversaries = cem\n"
+      "[job summarize]\nkind = replay\nafter = sweep\ntraces = sweep-bb-cem\n");
+  const std::size_t s = c.job_index("summarize");
+  ASSERT_EQ(c.jobs[s].after.size(), 1u);
+  EXPECT_EQ(c.jobs[s].after[0], "sweep-bb-cem");
+}
+
+TEST(Campaign, GridNeedsExactlyOneSweepAxis) {
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\n"
+                             "[job g]\nkind = grid\nprotocols = bb\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\n"
+                    "[job g]\nkind = grid\nprotocols = bb\n"
+                    "adversaries = cem\ntrace_sets = t\n"),
+      std::runtime_error);
+}
+
+TEST(Campaign, SeedsAreDeterministicAndOverridable) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nseed = 9\nout_dir = /tmp/x\n"
+      "[job a]\nkind = replay\n"
+      "[job b]\nkind = replay\nseed = 1234\n");
+  const std::vector<std::uint64_t> first = exp::resolve_job_seeds(c);
+  const std::vector<std::uint64_t> second = exp::resolve_job_seeds(c);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first[1], 1234u);
+  EXPECT_NE(first[0], first[1]);
+}
+
+TEST(Campaign, ParamsHashIgnoresSpellingOrderButNotValues) {
+  const exp::Campaign a = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job j]\nkind = replay\nalpha = 1\nbeta = 2\n");
+  const exp::Campaign b = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job j]\nkind = replay\nbeta = 2\nalpha = 1\n");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job j]\nkind = replay\nbeta = 2\nalpha = 9\n");
+  EXPECT_EQ(exp::job_params_hash(a, a.jobs[0], 7),
+            exp::job_params_hash(b, b.jobs[0], 7));
+  EXPECT_NE(exp::job_params_hash(a, a.jobs[0], 7),
+            exp::job_params_hash(c, c.jobs[0], 7));
+  EXPECT_NE(exp::job_params_hash(a, a.jobs[0], 7),
+            exp::job_params_hash(a, a.jobs[0], 8));
+}
+
+TEST(Campaign, WavesFollowDependencies) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job a]\nkind = replay\n"
+      "[job b]\nkind = replay\n"
+      "[job c]\nkind = replay\nafter = a, b\n");
+  const auto waves = exp::topological_waves(c);
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0].size(), 2u);
+  ASSERT_EQ(waves[1].size(), 1u);
+  EXPECT_EQ(c.jobs[waves[1][0]].id, "c");
+}
+
+// ---------------------------------------------------------------- manifest
+
+TEST(Manifest, RoundTripsAndSkipsTornLines) {
+  const std::string dir = temp_dir("netadv_manifest_test");
+  std::filesystem::create_directories(dir);
+  const std::string path = exp::manifest_path(dir);
+  {
+    exp::ManifestWriter writer{path};
+    exp::ManifestEntry entry;
+    entry.campaign = "c";
+    entry.job = "j";
+    entry.kind = "replay";
+    entry.status = "completed";
+    entry.params_hash = "aaaa";
+    entry.inputs_hash = "bbbb";
+    entry.seconds = 1.5;
+    entry.threads = 4;
+    entry.scale = 0.01;
+    entry.artifacts = {dir + "/x.csv", dir + "/y.csv"};
+    writer.append(entry);
+  }
+  // Simulate a kill mid-append: a torn trailing line.
+  {
+    std::ofstream out{path, std::ios::app};
+    out << "c,j2,replay,comp";
+  }
+  const std::vector<exp::ManifestEntry> entries = exp::read_manifest(path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].job, "j");
+  EXPECT_EQ(entries[0].status, "completed");
+  EXPECT_EQ(entries[0].params_hash, "aaaa");
+  EXPECT_EQ(entries[0].threads, 4u);
+  ASSERT_EQ(entries[0].artifacts.size(), 2u);
+  EXPECT_EQ(entries[0].artifacts[1], dir + "/y.csv");
+}
+
+TEST(Manifest, MissingFileReadsEmpty) {
+  EXPECT_TRUE(exp::read_manifest("/tmp/netadv_no_such_manifest.csv").empty());
+}
+
+// ---------------------------------------------------------------- scheduler
+
+// A fast stub registry: `emit` writes its seed to its artifact; `concat`
+// concatenates its dependencies' artifacts; `boom` always throws.
+exp::JobRegistry stub_registry() {
+  exp::JobRegistry registry;
+  registry.add("emit", [](const exp::JobContext& ctx) {
+    exp::JobResult r;
+    r.artifacts.push_back(ctx.artifact("_out.txt"));
+    std::ofstream{r.artifacts.back()} << ctx.job->id << ":" << ctx.seed;
+    return r;
+  });
+  registry.add("concat", [](const exp::JobContext& ctx) {
+    exp::JobResult r;
+    r.artifacts.push_back(ctx.artifact("_out.txt"));
+    std::ofstream out{r.artifacts.back()};
+    for (const auto& [dep, artifacts] : ctx.inputs) {
+      for (const auto& path : artifacts) out << read_file(path) << "\n";
+    }
+    return r;
+  });
+  registry.add("boom", [](const exp::JobContext&) -> exp::JobResult {
+    throw std::runtime_error{"kaboom"};
+  });
+  return registry;
+}
+
+const char* kDiamondSpec =
+    "[campaign]\nname = diamond\nseed = 11\nout_dir = %s\n"
+    "[job left]\nkind = emit\n"
+    "[job right]\nkind = emit\n"
+    "[job join]\nkind = concat\nafter = left, right\n";
+
+exp::Campaign diamond(const std::string& out_dir) {
+  char text[512];
+  std::snprintf(text, sizeof text, kDiamondSpec, out_dir.c_str());
+  return campaign_from(text);
+}
+
+TEST(Scheduler, RunsDagAndRecordsManifest) {
+  const std::string dir = temp_dir("netadv_sched_basic");
+  const exp::CampaignReport report =
+      exp::run_campaign(diamond(dir), stub_registry());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.completed, 3u);
+  EXPECT_EQ(report.outcome_of("join").status, "completed");
+  const std::string joined = read_file(dir + "/join_out.txt");
+  EXPECT_NE(joined.find("left:"), std::string::npos);
+  EXPECT_NE(joined.find("right:"), std::string::npos);
+  const auto entries = exp::read_manifest(exp::manifest_path(dir));
+  ASSERT_EQ(entries.size(), 3u);
+  for (const auto& entry : entries) EXPECT_EQ(entry.status, "completed");
+}
+
+TEST(Scheduler, ArtifactsAreIdenticalAcrossThreadCounts) {
+  const std::string seq_dir = temp_dir("netadv_sched_seq");
+  const std::string par_dir = temp_dir("netadv_sched_par");
+  exp::run_campaign(diamond(seq_dir), stub_registry());
+  util::ThreadPool pool{4};
+  exp::SchedulerOptions options;
+  options.pool = &pool;
+  exp::run_campaign(diamond(par_dir), stub_registry(), options);
+  for (const char* name : {"left_out.txt", "right_out.txt", "join_out.txt"}) {
+    EXPECT_EQ(read_file(seq_dir + "/" + name), read_file(par_dir + "/" + name))
+        << name;
+  }
+}
+
+TEST(Scheduler, FailureBlocksDependentsAndSurvivorsComplete) {
+  const std::string dir = temp_dir("netadv_sched_fail");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = f\nout_dir = " + dir + "\n"
+      "[job ok]\nkind = emit\n"
+      "[job bad]\nkind = boom\n"
+      "[job downstream]\nkind = concat\nafter = bad\n");
+  const exp::CampaignReport report = exp::run_campaign(c, stub_registry());
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.completed, 1u);
+  EXPECT_EQ(report.failed, 1u);
+  EXPECT_EQ(report.blocked, 1u);
+  EXPECT_EQ(report.outcome_of("bad").status, "failed");
+  EXPECT_NE(report.outcome_of("bad").error.find("kaboom"), std::string::npos);
+  EXPECT_EQ(report.outcome_of("downstream").status, "blocked");
+}
+
+TEST(Scheduler, ResumeSkipsCompletedJobs) {
+  const std::string dir = temp_dir("netadv_sched_resume");
+  exp::run_campaign(diamond(dir), stub_registry());
+  exp::SchedulerOptions options;
+  options.resume = true;
+  const exp::CampaignReport second =
+      exp::run_campaign(diamond(dir), stub_registry(), options);
+  EXPECT_EQ(second.completed, 0u);
+  EXPECT_EQ(second.skipped, 3u);
+}
+
+TEST(Scheduler, ResumeRerunsWhenArtifactMissingOrParamsChange) {
+  const std::string dir = temp_dir("netadv_sched_invalidate");
+  exp::run_campaign(diamond(dir), stub_registry());
+
+  // Deleting an artifact forces that job (and, through the recomputed
+  // inputs hash staying equal, only that job) to re-run.
+  std::filesystem::remove(dir + "/left_out.txt");
+  exp::SchedulerOptions options;
+  options.resume = true;
+  const exp::CampaignReport after_delete =
+      exp::run_campaign(diamond(dir), stub_registry(), options);
+  EXPECT_EQ(after_delete.outcome_of("left").status, "completed");
+  EXPECT_EQ(after_delete.outcome_of("right").status, "skipped-cached");
+  EXPECT_EQ(after_delete.outcome_of("join").status, "skipped-cached");
+
+  // A changed param (here: the campaign seed changes every derived job seed)
+  // invalidates everything.
+  char text[512];
+  std::snprintf(text, sizeof text, kDiamondSpec, dir.c_str());
+  std::string reseeded{text};
+  const std::size_t pos = reseeded.find("seed = 11");
+  reseeded.replace(pos, 9, "seed = 12");
+  const exp::CampaignReport after_reseed =
+      exp::run_campaign(campaign_from(reseeded), stub_registry(), options);
+  EXPECT_EQ(after_reseed.completed, 3u);
+  EXPECT_EQ(after_reseed.skipped, 0u);
+}
+
+TEST(Scheduler, ResumeRerunsDependentsWhenInputsChange) {
+  const std::string dir = temp_dir("netadv_sched_inputs");
+  exp::run_campaign(diamond(dir), stub_registry());
+  // Tamper with a dependency's artifact: join's inputs hash changes, so it
+  // re-runs even though its own params did not move.
+  std::ofstream{dir + "/left_out.txt"} << "tampered";
+  exp::SchedulerOptions options;
+  options.resume = true;
+  const exp::CampaignReport report =
+      exp::run_campaign(diamond(dir), stub_registry(), options);
+  EXPECT_EQ(report.outcome_of("left").status, "skipped-cached");
+  EXPECT_EQ(report.outcome_of("join").status, "completed");
+  EXPECT_NE(read_file(dir + "/join_out.txt").find("tampered"),
+            std::string::npos);
+}
+
+TEST(Scheduler, UnknownKindIsACampaignLevelError) {
+  const std::string dir = temp_dir("netadv_sched_unknown");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = u\nout_dir = " + dir + "\n"
+      "[job a]\nkind = no-such-kind\n");
+  EXPECT_THROW(exp::run_campaign(c, stub_registry()), std::runtime_error);
+}
+
+TEST(Scheduler, FormatPlanListsWavesAndResumeState) {
+  const std::string dir = temp_dir("netadv_sched_plan");
+  const std::string plan = exp::format_plan(diamond(dir));
+  EXPECT_NE(plan.find("wave 1"), std::string::npos);
+  EXPECT_NE(plan.find("wave 2"), std::string::npos);
+  EXPECT_NE(plan.find("join"), std::string::npos);
+  exp::run_campaign(diamond(dir), stub_registry());
+  const std::string resumed = exp::format_plan(diamond(dir), true);
+  EXPECT_NE(resumed.find("cached if inputs match"), std::string::npos);
+}
+
+// ------------------------------------------------- builtin-job integration
+
+TEST(BuiltinJobs, GenReplayPipelineProducesQoePerTrace) {
+  const std::string dir = temp_dir("netadv_builtin_smoke");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = smoke\nseed = 3\nout_dir = " + dir + "\n"
+      "[job corpus]\nkind = gen-traces\ngenerator = random\ncount = 3\n"
+      "[job replay-bb]\nkind = replay\nafter = corpus\n"
+      "traces = corpus\nprotocol = bb\n");
+  const exp::CampaignReport report =
+      exp::run_campaign(c, exp::builtin_jobs());
+  ASSERT_TRUE(report.ok());
+  const std::vector<trace::Trace> traces =
+      trace::load_trace_set(dir + "/corpus_traces.csv");
+  EXPECT_GE(traces.size(), 2u);
+  const std::string qoe = read_file(dir + "/replay-bb_qoe.csv");
+  EXPECT_NE(qoe.find("trace,qoe"), std::string::npos);
+}
+
+TEST(BuiltinJobs, FactoriesRejectUnknownNames) {
+  EXPECT_EQ(exp::make_abr_protocol("nope"), nullptr);
+  EXPECT_NE(exp::make_abr_protocol("bola"), nullptr);
+  EXPECT_EQ(exp::make_trace_generator("nope"), nullptr);
+  EXPECT_NE(exp::make_trace_generator("3g"), nullptr);
+}
+
+}  // namespace
