@@ -9,15 +9,13 @@
 #include <cstdio>
 #include <memory>
 
-#include "cc/bbr.hpp"
-#include "cc/copa.hpp"
-#include "cc/cubic.hpp"
 #include "cc/multiflow.hpp"
 #include "core/fairness_adversary.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "rl/ppo.hpp"
 #include "util/log.hpp"
-#include "cc/vivace.hpp"
+#include "cc/sender.hpp"
 #include "common/bench_common.hpp"
 #include "util/config.hpp"
 
@@ -26,12 +24,10 @@ namespace {
 using namespace netadv;
 using namespace netadv::bench;
 
+// Every sender name below resolves through the shared registry (unknown
+// names throw, enumerating it).
 std::unique_ptr<cc::CcSender> make_sender(const std::string& kind) {
-  if (kind == "bbr") return std::make_unique<cc::BbrSender>();
-  if (kind == "copa") return std::make_unique<cc::CopaSender>();
-  if (kind == "vivace") return std::make_unique<cc::VivaceSender>();
-  if (kind == "cubic") return std::make_unique<cc::CubicSender>();
-  return std::make_unique<cc::RenoSender>();
+  return core::cc_senders().make(kind);
 }
 
 struct PairResult {

@@ -14,12 +14,11 @@
 #include "abr/bola.hpp"
 #include "abr/optimal.hpp"
 #include "abr/runner.hpp"
-#include "cc/copa.hpp"
-#include "cc/vivace.hpp"
 #include "common/bench_common.hpp"
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
 #include "core/recorder.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
@@ -32,9 +31,7 @@ using namespace netadv::bench;
 void attack_copa(std::size_t steps) {
   std::printf("\n-- adversary vs Copa (underutilization goal) --\n");
   core::CcAdversaryEnv::Params p;
-  core::CcAdversaryEnv env{p, [] {
-    return std::unique_ptr<cc::CcSender>(std::make_unique<cc::CopaSender>());
-  }};
+  core::CcAdversaryEnv env{p, core::cc_senders().factory("copa")};
   rl::PpoAgent adversary = core::train_cc_adversary(env, steps, 1101);
   util::Rng rng{1102};
   const core::CcEpisodeRecord record =
@@ -60,10 +57,7 @@ void attack_copa(std::size_t steps) {
 void attack_vivace(std::size_t steps) {
   std::printf("\n-- adversary vs PCC Vivace (underutilization goal) --\n");
   core::CcAdversaryEnv::Params p;
-  core::CcAdversaryEnv env{p, [] {
-    return std::unique_ptr<cc::CcSender>(
-        std::make_unique<cc::VivaceSender>());
-  }};
+  core::CcAdversaryEnv env{p, core::cc_senders().factory("vivace")};
   rl::PpoAgent adversary = core::train_cc_adversary(env, steps, 1109);
   util::Rng rng{1110};
   const core::CcEpisodeRecord record =

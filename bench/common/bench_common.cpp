@@ -3,11 +3,11 @@
 #include <cstdio>
 #include <memory>
 
-#include "abr/bb.hpp"
 #include "abr/mpc.hpp"
 #include "abr/runner.hpp"
 #include "core/abr_adversary.hpp"
 #include "core/recorder.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "trace/generators.hpp"
 #include "util/csv.hpp"
@@ -126,14 +126,15 @@ Fig1Artifacts build_fig1_artifacts(std::uint64_t seed) {
   const rl::PpoAgent& adv_pen = adversaries[1];
 
   // Corpus generation fans one (cloned adversary, fresh target, fresh env)
-  // triple per trace across the pool.
+  // triple per trace across the pool. Stock protocols come from the shared
+  // registry; Pensieve serves the in-memory agent trained above, so it stays
+  // a local factory (the registry's `pensieve` entry loads checkpoints).
+  const core::ProtocolFactory make_mpc = core::abr_protocols().factory("mpc");
+  const core::ProtocolFactory make_bb = core::abr_protocols().factory("bb");
   util::log_info("fig1: recording 2 x %zu adversarial traces", traces_per_set);
   art.traces_vs_mpc = core::record_abr_traces(
-      adv_mpc, m,
-      []() -> std::unique_ptr<abr::AbrProtocol> {
-        return std::make_unique<abr::RobustMpc>();
-      },
-      core::AbrAdversaryEnv::Params{}, traces_per_set, seed + 3,
+      adv_mpc, m, make_mpc, core::AbrAdversaryEnv::Params{}, traces_per_set,
+      seed + 3,
       /*deterministic=*/false, &pool);
   art.traces_vs_pensieve = core::record_abr_traces(
       adv_pen, m,
@@ -155,16 +156,8 @@ Fig1Artifacts build_fig1_artifacts(std::uint64_t seed) {
           return std::make_unique<abr::OwnedPensievePolicy>(*art.pensieve);
         },
         m, traces, {}, &pool));
-    qoe.push_back(abr::qoe_per_trace(
-        []() -> std::unique_ptr<abr::AbrProtocol> {
-          return std::make_unique<abr::RobustMpc>();
-        },
-        m, traces, {}, &pool));
-    qoe.push_back(abr::qoe_per_trace(
-        []() -> std::unique_ptr<abr::AbrProtocol> {
-          return std::make_unique<abr::BufferBased>();
-        },
-        m, traces, {}, &pool));
+    qoe.push_back(abr::qoe_per_trace(make_mpc, m, traces, {}, &pool));
+    qoe.push_back(abr::qoe_per_trace(make_bb, m, traces, {}, &pool));
     return qoe;
   };
   util::log_info("fig1: evaluating 3 protocols on 3 x %zu traces (%zu threads)",

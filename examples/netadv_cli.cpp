@@ -1,16 +1,23 @@
 // netadv_cli — command-line front end to the adversarial framework:
 //
-//   netadv_cli gen   <fcc|3g|random> <count> <out_prefix>     generate traces
-//   netadv_cli eval  <bb|bola|mpc|throughput> <trace.csv>     replay a protocol
-//   netadv_cli attack <bb|bola|mpc|throughput> <steps> <count> <out_prefix>
-//                                                             train + record
-//   netadv_cli cc    <bbr|copa|vivace|cubic|reno> <trace.csv> replay a CC flow
+//   netadv_cli list [protocols|senders|generators|adversaries|jobs]
+//                                                             print registries
+//   netadv_cli gen   <generator> <count> <out_prefix>         generate traces
+//   netadv_cli eval  <protocol> <trace.csv>                   replay a protocol
+//   netadv_cli attack <protocol> <steps> <count> <out_prefix> train + record
+//   netadv_cli cc    <sender> <trace.csv>                     replay a CC flow
 //   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
 //   netadv_cli campaign <spec> [--resume] [--dry-run]         run a campaign
 //
-// Traces use the CSV schema of trace::save_trace. Exit code 0 on success,
-// 1 on a runtime error, 2 on a usage error (campaign job failures also
-// exit 1 — the manifest records which jobs failed).
+// Every <generator>/<protocol>/<sender> name resolves through the core::
+// registries (`list` prints them with domain + description); the usage text
+// below is generated from the same tables, so it can never go stale.
+//
+// Exit-code contract: 0 on success, 1 on a runtime error (missing file,
+// factory failure such as `eval pensieve` without a checkpoint, or a
+// campaign with failed/blocked jobs — the manifest records which), 2 on a
+// usage error (unknown command/name/flag or wrong arity). Traces use the
+// CSV schema of trace::save_trace.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -18,12 +25,9 @@
 
 #include "abr/optimal.hpp"
 #include "abr/runner.hpp"
-#include "cc/bbr.hpp"
-#include "cc/copa.hpp"
-#include "cc/cubic.hpp"
-#include "cc/vivace.hpp"
 #include "core/abr_adversary.hpp"
 #include "core/recorder.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "exp/campaign.hpp"
 #include "exp/jobs.hpp"
@@ -39,35 +43,80 @@ using namespace netadv;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage:\n"
-               "  netadv_cli gen <fcc|3g|random> <count> <out_prefix>\n"
-               "  netadv_cli eval <bb|bola|mpc|throughput> <trace.csv>\n"
-               "  netadv_cli attack <bb|bola|mpc|throughput> <steps> <count> "
-               "<out_prefix>\n"
-               "  netadv_cli cc <bbr|copa|vivace|cubic|reno> <trace.csv>\n"
-               "  netadv_cli mm-export <trace.csv> <out.mm>\n"
-               "  netadv_cli campaign <spec> [--resume] [--dry-run]\n");
+  const std::string generators = core::trace_generators().names("|");
+  const std::string protocols = core::abr_protocols().names("|");
+  const std::string senders = core::cc_senders().names("|");
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  netadv_cli list [protocols|senders|generators|adversaries|jobs]\n"
+      "  netadv_cli gen <%s> <count> <out_prefix>\n"
+      "  netadv_cli eval <%s> <trace.csv>\n"
+      "  netadv_cli attack <%s> <steps> <count> <out_prefix>\n"
+      "  netadv_cli cc <%s> <trace.csv>\n"
+      "  netadv_cli mm-export <trace.csv> <out.mm>\n"
+      "  netadv_cli campaign <spec> [--resume] [--dry-run]\n",
+      generators.c_str(), protocols.c_str(), protocols.c_str(),
+      senders.c_str());
   return 2;
 }
 
-// The campaign engine owns the name -> object tables; the ad-hoc commands
-// reuse them so `eval mpc` and a spec's `protocol = mpc` can never diverge.
+// The core:: registries own the name -> object tables; every command
+// resolves through them so `eval mpc`, a spec's `protocol = mpc`, and the
+// `list` output can never diverge. try_make: nullptr = unknown name (usage
+// error); a known entry may still throw (runtime error, exit 1).
 std::unique_ptr<trace::TraceGenerator> make_generator(const std::string& kind) {
-  return exp::make_trace_generator(kind);
+  return core::trace_generators().try_make(kind);
 }
 
 std::unique_ptr<abr::AbrProtocol> make_protocol(const std::string& kind) {
-  return exp::make_abr_protocol(kind);
+  return core::abr_protocols().try_make(kind);
 }
 
 std::unique_ptr<cc::CcSender> make_sender(const std::string& kind) {
-  if (kind == "bbr") return std::make_unique<cc::BbrSender>();
-  if (kind == "copa") return std::make_unique<cc::CopaSender>();
-  if (kind == "vivace") return std::make_unique<cc::VivaceSender>();
-  if (kind == "cubic") return std::make_unique<cc::CubicSender>();
-  if (kind == "reno") return std::make_unique<cc::RenoSender>();
-  return nullptr;
+  return core::cc_senders().try_make(kind);
+}
+
+void print_registry(const char* heading, const core::RegistryBase& registry) {
+  std::printf("%s:\n", heading);
+  for (const core::EntryInfo& entry : registry.entries()) {
+    std::printf("  %-12s %-4s %s\n", entry.name.c_str(),
+                core::to_string(entry.domain).c_str(),
+                entry.description.c_str());
+  }
+}
+
+void print_jobs() {
+  std::printf("campaign job kinds:\n");
+  for (const auto& [kind, description] : exp::builtin_jobs().kinds()) {
+    // Job kinds are domain-neutral: `domain = abr|cc` is a job param.
+    std::printf("  %-16s %-4s %s\n", kind.c_str(), "any", description.c_str());
+  }
+}
+
+int cmd_list(const std::vector<std::string>& args) {
+  const std::vector<std::string> categories =
+      args.empty()
+          ? std::vector<std::string>{"protocols", "senders", "generators",
+                                     "adversaries", "jobs"}
+          : args;
+  for (const std::string& category : categories) {
+    if (category == "protocols") {
+      print_registry("ABR protocols", core::abr_protocols());
+    } else if (category == "senders") {
+      print_registry("CC senders", core::cc_senders());
+    } else if (category == "generators") {
+      print_registry("trace generators", core::trace_generators());
+    } else if (category == "adversaries") {
+      print_registry("adversary kinds", core::adversary_kinds());
+    } else if (category == "jobs") {
+      print_jobs();
+    } else {
+      std::fprintf(stderr, "list: unknown category '%s'\n", category.c_str());
+      return usage();
+    }
+  }
+  return 0;
 }
 
 int cmd_gen(const std::vector<std::string>& args) {
@@ -104,8 +153,11 @@ int cmd_eval(const std::vector<std::string>& args) {
 
 int cmd_attack(const std::vector<std::string>& args) {
   if (args.size() != 4) return usage();
-  auto protocol = make_protocol(args[0]);
-  if (!protocol) return usage();
+  if (!core::abr_protocols().contains(args[0])) return usage();
+  // Resolve the target factory once; attack + per-trace regret reuse it.
+  const core::ProtocolFactory make_target =
+      core::abr_protocols().factory(args[0]);
+  auto protocol = make_target();
   const auto steps = static_cast<std::size_t>(std::stoul(args[1]));
   const auto count = static_cast<std::size_t>(std::stoul(args[2]));
 
@@ -121,7 +173,7 @@ int cmd_attack(const std::vector<std::string>& args) {
   for (std::size_t i = 0; i < traces.size(); ++i) {
     const std::string path = args[3] + "_" + std::to_string(i) + ".csv";
     trace::save_trace(traces[i], path);
-    auto target = make_protocol(args[0]);
+    auto target = make_target();
     regret += abr::optimal_playback(manifest, traces[i]).total_qoe -
               abr::run_playback(*target, manifest, traces[i]).total_qoe;
     std::printf("wrote %s\n", path.c_str());
@@ -200,6 +252,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 2; i < argc; ++i) args.emplace_back(argv[i]);
   try {
+    if (cmd == "list") return cmd_list(args);
     if (cmd == "gen") return cmd_gen(args);
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "attack") return cmd_attack(args);

@@ -1,0 +1,146 @@
+#include "core/registry.hpp"
+
+#include "abr/bb.hpp"
+#include "abr/bola.hpp"
+#include "abr/mpc.hpp"
+#include "abr/pensieve.hpp"
+#include "abr/throughput_rule.hpp"
+#include "abr/video.hpp"
+#include "cc/bbr.hpp"
+#include "cc/copa.hpp"
+#include "cc/cubic.hpp"
+#include "cc/vivace.hpp"
+#include "rl/checkpoint.hpp"
+#include "trace/generators.hpp"
+
+namespace netadv::core {
+
+std::string to_string(TargetDomain domain) {
+  switch (domain) {
+    case TargetDomain::kAbr:
+      return "abr";
+    case TargetDomain::kCc:
+      return "cc";
+    case TargetDomain::kAny:
+      return "any";
+  }
+  return "any";
+}
+
+TargetDomain parse_domain(const std::string& text) {
+  if (text == "abr") return TargetDomain::kAbr;
+  if (text == "cc") return TargetDomain::kCc;
+  throw std::runtime_error{"unknown domain '" + text + "' (abr | cc)"};
+}
+
+namespace {
+
+/// Plain entries: default-construct, ignore args.
+template <typename Base, typename Concrete>
+typename Registry<Base>::Factory plain() {
+  return [](const FactoryArgs&) -> std::unique_ptr<Base> {
+    return std::make_unique<Concrete>();
+  };
+}
+
+/// The one parameterized entry: Pensieve serves a trained checkpoint, so
+/// `checkpoint = <path>` selects *which* Pensieve — campaigns can target a
+/// freshly robustified policy by pointing at a round's `_pensieve.ckpt`.
+std::unique_ptr<abr::AbrProtocol> make_pensieve(const FactoryArgs& args) {
+  const std::string* checkpoint = args.find("checkpoint");
+  if (checkpoint == nullptr) {
+    throw std::runtime_error{
+        "protocol 'pensieve' needs checkpoint = <path to a trained "
+        "_pensieve.ckpt> (or checkpoint_from = <robustify-round job> in a "
+        "campaign)"};
+  }
+  // The deterministic-size manifest every adversary experiment uses
+  // (size_variation = 0) — it fixes the ladder, i.e. the net topology.
+  abr::VideoManifest::Params mp;
+  mp.size_variation = 0.0;
+  const abr::VideoManifest manifest{mp};
+  rl::PpoAgent agent = abr::make_pensieve_agent(manifest, /*seed=*/0);
+  rl::load_checkpoint(agent, *checkpoint);
+  return std::make_unique<abr::OwnedPensievePolicy>(agent);
+}
+
+Registry<abr::AbrProtocol> build_abr_protocols() {
+  Registry<abr::AbrProtocol> reg{"protocol"};
+  const auto abr = TargetDomain::kAbr;
+  reg.add("bb", abr, "buffer-based rate control (Fig. 3's target)",
+          plain<abr::AbrProtocol, abr::BufferBased>());
+  reg.add("bola", abr, "BOLA Lyapunov-utility controller",
+          plain<abr::AbrProtocol, abr::Bola>());
+  reg.add("mpc", abr, "RobustMPC model-predictive controller",
+          plain<abr::AbrProtocol, abr::RobustMpc>());
+  reg.add("throughput", abr, "last-throughput rate matcher",
+          plain<abr::AbrProtocol, abr::ThroughputRule>());
+  reg.add("pensieve", abr,
+          "PPO-trained Pensieve policy (checkpoint = <path> required)",
+          make_pensieve);
+  return reg;
+}
+
+Registry<cc::CcSender> build_cc_senders() {
+  Registry<cc::CcSender> reg{"sender"};
+  const auto cc = TargetDomain::kCc;
+  reg.add("bbr", cc, "BBRv1 model-based state machine (Fig. 5's target)",
+          plain<cc::CcSender, cc::BbrSender>());
+  reg.add("cubic", cc, "CUBIC loss-based window growth",
+          plain<cc::CcSender, cc::CubicSender>());
+  reg.add("copa", cc, "Copa delay-based target-rate controller",
+          plain<cc::CcSender, cc::CopaSender>());
+  reg.add("vivace", cc, "PCC Vivace online-learning rate control",
+          plain<cc::CcSender, cc::VivaceSender>());
+  reg.add("reno", cc, "NewReno AIMD baseline",
+          plain<cc::CcSender, cc::RenoSender>());
+  return reg;
+}
+
+Registry<trace::TraceGenerator> build_trace_generators() {
+  Registry<trace::TraceGenerator> reg{"generator"};
+  const auto any = TargetDomain::kAny;
+  reg.add("fcc", any, "FCC-broadband-like synthetic corpus",
+          plain<trace::TraceGenerator, trace::FccLikeGenerator>());
+  reg.add("3g", any, "Norway-3G/HSDPA-like synthetic corpus",
+          plain<trace::TraceGenerator, trace::Hsdpa3gLikeGenerator>());
+  reg.add("random", any, "uniform-random bandwidth levels",
+          plain<trace::TraceGenerator, trace::UniformRandomGenerator>());
+  return reg;
+}
+
+InfoRegistry build_adversary_kinds() {
+  InfoRegistry reg{"adversary"};
+  reg.add("ppo", TargetDomain::kAny,
+          "RL adversary, the paper's recipe (train-adversary -> "
+          "record-traces); attacks ABR protocols and CC senders alike");
+  reg.add("cem", TargetDomain::kAbr,
+          "cross-entropy trace search (Section 2.1's trace-based "
+          "alternative); record-traces only — searching *is* recording");
+  return reg;
+}
+
+}  // namespace
+
+const Registry<abr::AbrProtocol>& abr_protocols() {
+  static const Registry<abr::AbrProtocol> registry = build_abr_protocols();
+  return registry;
+}
+
+const Registry<cc::CcSender>& cc_senders() {
+  static const Registry<cc::CcSender> registry = build_cc_senders();
+  return registry;
+}
+
+const Registry<trace::TraceGenerator>& trace_generators() {
+  static const Registry<trace::TraceGenerator> registry =
+      build_trace_generators();
+  return registry;
+}
+
+const InfoRegistry& adversary_kinds() {
+  static const InfoRegistry registry = build_adversary_kinds();
+  return registry;
+}
+
+}  // namespace netadv::core

@@ -11,57 +11,68 @@
 
 namespace netadv::core {
 
-rl::PpoConfig abr_adversary_ppo_config() {
+rl::PpoConfig adversary_ppo_config(TargetDomain domain) {
   rl::PpoConfig cfg;
-  // "a neural network with two fully connected hidden layers, the first with
-  // 32 neurons and the second with 16" (Section 3). PPO with the
-  // stable-baselines defaults except a constant learning rate.
-  cfg.hidden_sizes = {32, 16};
+  // PPO with the stable-baselines defaults except a constant learning rate;
+  // only the network and the entropy bonus differ per domain.
   cfg.learning_rate = 3e-4;
   cfg.n_steps = 2048;
   cfg.minibatch_size = 128;
   cfg.epochs = 10;
-  cfg.ent_coef = 0.005;
   cfg.initial_log_std = -0.3;
-  return cfg;
+  switch (domain) {
+    case TargetDomain::kAbr:
+      // "a neural network with two fully connected hidden layers, the first
+      // with 32 neurons and the second with 16" (Section 3).
+      cfg.hidden_sizes = {32, 16};
+      cfg.ent_coef = 0.005;
+      return cfg;
+    case TargetDomain::kCc:
+      // "a simple neural network with only one hidden layer of 4 neurons"
+      // (Section 4).
+      cfg.hidden_sizes = {4};
+      cfg.ent_coef = 0.001;
+      return cfg;
+    case TargetDomain::kAny:
+      break;
+  }
+  throw std::invalid_argument{
+      "adversary_ppo_config: no trainable config for domain 'any'"};
+}
+
+rl::PpoConfig abr_adversary_ppo_config() {
+  return adversary_ppo_config(TargetDomain::kAbr);
 }
 
 rl::PpoConfig cc_adversary_ppo_config() {
-  rl::PpoConfig cfg;
-  // "a simple neural network with only one hidden layer of 4 neurons"
-  // (Section 4).
-  cfg.hidden_sizes = {4};
-  cfg.learning_rate = 3e-4;
-  cfg.n_steps = 2048;
-  cfg.minibatch_size = 128;
-  cfg.epochs = 10;
-  cfg.ent_coef = 0.001;
-  cfg.initial_log_std = -0.3;
-  return cfg;
+  return adversary_ppo_config(TargetDomain::kCc);
+}
+
+rl::PpoAgent train_adversary(rl::Env& env, const rl::PpoConfig& config,
+                             std::size_t steps, std::uint64_t seed,
+                             const rl::TrainCallback& callback,
+                             util::ThreadPool* pool) {
+  rl::PpoAgent agent{env.observation_size(), env.action_spec(), config, seed};
+  agent.set_thread_pool(pool);
+  agent.train(env, steps, callback);
+  agent.set_thread_pool(nullptr);
+  return agent;
 }
 
 rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
                                  std::uint64_t seed,
                                  const rl::TrainCallback& callback,
                                  util::ThreadPool* pool) {
-  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
-                     abr_adversary_ppo_config(), seed};
-  agent.set_thread_pool(pool);
-  agent.train(env, steps, callback);
-  agent.set_thread_pool(nullptr);
-  return agent;
+  return train_adversary(env, abr_adversary_ppo_config(), steps, seed,
+                         callback, pool);
 }
 
 rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
                                 std::uint64_t seed,
                                 const rl::TrainCallback& callback,
                                 util::ThreadPool* pool) {
-  rl::PpoAgent agent{env.observation_size(), env.action_spec(),
-                     cc_adversary_ppo_config(), seed};
-  agent.set_thread_pool(pool);
-  agent.train(env, steps, callback);
-  agent.set_thread_pool(nullptr);
-  return agent;
+  return train_adversary(env, cc_adversary_ppo_config(), steps, seed,
+                         callback, pool);
 }
 
 namespace {
@@ -88,26 +99,38 @@ std::vector<rl::PpoAgent> train_concurrently(std::size_t count,
 
 }  // namespace
 
+std::vector<rl::PpoAgent> train_adversaries(
+    const std::vector<AdversaryJob>& jobs, util::ThreadPool* pool) {
+  return train_concurrently(jobs.size(), pool, [&](std::size_t i) {
+    const AdversaryJob& job = jobs[i];
+    if (job.env == nullptr) {
+      throw std::invalid_argument{"train_adversaries: null env"};
+    }
+    return train_adversary(*job.env, job.config, job.steps, job.seed, nullptr,
+                           pool);
+  });
+}
+
 std::vector<rl::PpoAgent> train_abr_adversaries(
     const std::vector<AbrAdversaryJob>& jobs, util::ThreadPool* pool) {
-  return train_concurrently(jobs.size(), pool, [&](std::size_t i) {
-    const AbrAdversaryJob& job = jobs[i];
-    if (job.env == nullptr) {
-      throw std::invalid_argument{"train_abr_adversaries: null env"};
-    }
-    return train_abr_adversary(*job.env, job.steps, job.seed, nullptr, pool);
-  });
+  std::vector<AdversaryJob> generic;
+  generic.reserve(jobs.size());
+  for (const AbrAdversaryJob& job : jobs) {
+    generic.push_back(
+        {job.env, abr_adversary_ppo_config(), job.steps, job.seed});
+  }
+  return train_adversaries(generic, pool);
 }
 
 std::vector<rl::PpoAgent> train_cc_adversaries(
     const std::vector<CcAdversaryJob>& jobs, util::ThreadPool* pool) {
-  return train_concurrently(jobs.size(), pool, [&](std::size_t i) {
-    const CcAdversaryJob& job = jobs[i];
-    if (job.env == nullptr) {
-      throw std::invalid_argument{"train_cc_adversaries: null env"};
-    }
-    return train_cc_adversary(*job.env, job.steps, job.seed, nullptr, pool);
-  });
+  std::vector<AdversaryJob> generic;
+  generic.reserve(jobs.size());
+  for (const CcAdversaryJob& job : jobs) {
+    generic.push_back(
+        {job.env, cc_adversary_ppo_config(), job.steps, job.seed});
+  }
+  return train_adversaries(generic, pool);
 }
 
 RobustifyResult robustify_pensieve(rl::PpoAgent& pensieve,

@@ -15,23 +15,35 @@
 #include "abr/pensieve.hpp"
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
+#include "core/registry.hpp"
 #include "rl/ppo.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace netadv::core {
 
-/// PPO setup for the ABR adversary: the paper's two-hidden-layer 32/16
-/// network (Section 3).
+/// The paper's per-domain PPO setups behind one seam: two hidden layers of
+/// 32/16 for ABR adversaries (Section 3), one hidden layer of 4 neurons for
+/// CC adversaries (Section 4). kAny is not a trainable domain and throws.
+rl::PpoConfig adversary_ppo_config(TargetDomain domain);
+
+/// PPO setup for the ABR adversary: adversary_ppo_config(kAbr).
 rl::PpoConfig abr_adversary_ppo_config();
 
-/// PPO setup for the CC adversary: one hidden layer of 4 neurons
-/// (Section 4).
+/// PPO setup for the CC adversary: adversary_ppo_config(kCc).
 rl::PpoConfig cc_adversary_ppo_config();
 
-/// Train a fresh adversary against `env` for `steps` environment steps.
+/// Train a fresh PPO adversary against any rl::Env for `steps` environment
+/// steps — the single generic trainer both domains share (the paper's
+/// protocol-agnostic recipe: only `config` differs between ABR and CC).
 /// A non-null `pool` parallelizes the gradient step via the agent's
 /// shadow-buffer path; trained parameters are bit-identical either way.
+rl::PpoAgent train_adversary(rl::Env& env, const rl::PpoConfig& config,
+                             std::size_t steps, std::uint64_t seed,
+                             const rl::TrainCallback& callback = nullptr,
+                             util::ThreadPool* pool = nullptr);
+
+/// Domain-flavored wrappers: train_adversary with that domain's config.
 rl::PpoAgent train_abr_adversary(AbrAdversaryEnv& env, std::size_t steps,
                                  std::uint64_t seed,
                                  const rl::TrainCallback& callback = nullptr,
@@ -43,7 +55,15 @@ rl::PpoAgent train_cc_adversary(CcAdversaryEnv& env, std::size_t steps,
                                 util::ThreadPool* pool = nullptr);
 
 /// One independent adversary-training job: its own env (never shared between
-/// jobs — envs are stateful) and its own seed.
+/// jobs — envs are stateful), its own PPO config, and its own seed.
+struct AdversaryJob {
+  rl::Env* env = nullptr;
+  rl::PpoConfig config{};
+  std::size_t steps = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Domain-flavored job aliases: the env type selects the config.
 struct AbrAdversaryJob {
   AbrAdversaryEnv* env = nullptr;
   std::size_t steps = 0;
@@ -60,13 +80,17 @@ struct CcAdversaryJob {
 /// when null), one job per slot of the returned vector.
 ///
 /// Determinism contract: each job's training is a pure function of its
-/// (env, steps, seed) — agents, envs, and RNG state are all job-private, and
-/// results land in the slot of their own job index — so the returned agents
-/// are bit-identical at every thread count, and identical to running the
-/// jobs back-to-back through train_abr_adversary. While a job runs on the
-/// pool, its own gradient step degrades to the sequential path (nested
-/// parallel_for runs inline), which changes nothing: the shadow-buffer path
-/// is bit-identical to sequential by construction.
+/// (env, config, steps, seed) — agents, envs, and RNG state are all
+/// job-private, and results land in the slot of their own job index — so the
+/// returned agents are bit-identical at every thread count, and identical to
+/// running the jobs back-to-back through train_adversary. While a job runs
+/// on the pool, its own gradient step degrades to the sequential path
+/// (nested parallel_for runs inline), which changes nothing: the
+/// shadow-buffer path is bit-identical to sequential by construction.
+std::vector<rl::PpoAgent> train_adversaries(
+    const std::vector<AdversaryJob>& jobs, util::ThreadPool* pool = nullptr);
+
+/// Domain-flavored wrappers over train_adversaries.
 std::vector<rl::PpoAgent> train_abr_adversaries(
     const std::vector<AbrAdversaryJob>& jobs, util::ThreadPool* pool = nullptr);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/registry.hpp"
 #include "util/config.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
@@ -79,6 +80,41 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
     seeds.push_back(parse_u64(s, "grid '" + grid.id + "' seeds"));
   }
 
+  // Load-time validation against the domain's live registry, so a typo
+  // fails when the spec parses, not waves into the run. `domain` itself is
+  // *not* consumed: it forwards to every expanded job like any shared param.
+  core::TargetDomain domain = core::TargetDomain::kAbr;
+  try {
+    domain = core::parse_domain(grid.value_or("domain", "abr"));
+  } catch (const std::exception& e) {
+    fail(spec, section.line, "grid '" + grid.id + "': " + e.what());
+  }
+  const core::RegistryBase& targets =
+      domain == core::TargetDomain::kCc
+          ? static_cast<const core::RegistryBase&>(core::cc_senders())
+          : core::abr_protocols();
+  for (const auto& protocol : protocols) {
+    if (!targets.contains(protocol)) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': unknown " + targets.category() + " '" +
+               protocol + "' (" + targets.names() + ")");
+    }
+  }
+  for (const auto& adversary : adversaries) {
+    const core::EntryInfo* info = core::adversary_kinds().info(adversary);
+    if (info == nullptr) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': unknown adversary kind '" + adversary +
+               "' (" + core::adversary_kinds().names() + ")");
+    }
+    if (info->domain != core::TargetDomain::kAny && info->domain != domain) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': adversary '" + adversary + "' is " +
+               core::to_string(info->domain) +
+               "-only, but the grid's domain is " + core::to_string(domain));
+    }
+  }
+
   // Params forwarded verbatim to every expanded job (the sweep axes and the
   // engine keys are consumed here).
   std::vector<std::pair<std::string, std::string>> shared;
@@ -152,7 +188,8 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
           record.seed = seed;
           emit(std::move(train));
           emit(std::move(record));
-        } else if (adversary == "cem") {
+        } else {
+          // cem (validated above): trace-based — searching *is* recording.
           JobSpec record;
           record.id = point_id;
           record.kind = "record-traces";
@@ -162,10 +199,6 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
           record.params.emplace_back("adversary", "cem");
           record.seed = seed;
           emit(std::move(record));
-        } else {
-          fail(spec, section.line,
-               "grid '" + grid.id + "': unknown adversary kind '" + adversary +
-                   "' (ppo | cem)");
         }
       }
     }

@@ -3,22 +3,23 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
-#include "abr/bb.hpp"
-#include "abr/bola.hpp"
-#include "abr/mpc.hpp"
 #include "abr/optimal.hpp"
 #include "abr/pensieve.hpp"
 #include "abr/runner.hpp"
-#include "abr/throughput_rule.hpp"
 #include "core/abr_adversary.hpp"
+#include "core/cc_adversary.hpp"
 #include "core/cem_adversary.hpp"
 #include "core/recorder.hpp"
+#include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "rl/checkpoint.hpp"
+#include "trace/generators.hpp"
 #include "trace/trace.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
@@ -73,18 +74,66 @@ abr::VideoManifest job_manifest() {
   return abr::VideoManifest{mp};
 }
 
-std::unique_ptr<abr::AbrProtocol> protocol_param(const JobContext& ctx) {
-  const std::string kind = ctx.job->value_or("protocol", "");
-  auto protocol = make_abr_protocol(kind);
-  if (protocol == nullptr) {
-    job_fail(ctx, "unknown protocol '" + kind +
-                      "' (bb | bola | mpc | throughput)");
+/// `domain = abr | cc` selects which target registry and adversary stack a
+/// train/record/replay job runs on.
+core::TargetDomain domain_param(const JobContext& ctx) {
+  try {
+    return core::parse_domain(ctx.job->value_or("domain", "abr"));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
   }
-  return protocol;
 }
 
-/// Per-trace regret summary shared by both record-traces paths.
-void write_summary(const JobContext& ctx, const abr::VideoManifest& manifest,
+/// Registry args for target factories: the job's own params, with
+/// `checkpoint_from = <job id>` resolved to that dependency's
+/// _pensieve.ckpt (so a robustified policy is targetable by name).
+core::FactoryArgs target_args(const JobContext& ctx) {
+  core::FactoryArgs args;
+  args.bind(
+      [job = ctx.job](const std::string& key) { return job->find(key); });
+  if (const std::string* from = ctx.job->find("checkpoint_from")) {
+    args.set("checkpoint", ctx.input_ending_with(*from, "_pensieve.ckpt"));
+  }
+  return args;
+}
+
+/// Resolve `protocol =` against the domain's registry exactly once, up
+/// front: a bad name (or a missing pensieve checkpoint) fails the job here,
+/// before any artifact is written, and the returned factory is handed to
+/// every batch API that needs fresh targets.
+core::ProtocolFactory abr_target_factory(const JobContext& ctx) {
+  try {
+    return core::abr_protocols().factory(ctx.job->value_or("protocol", ""),
+                                         target_args(ctx));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
+  }
+}
+
+core::SenderFactory cc_target_factory(const JobContext& ctx) {
+  try {
+    return core::cc_senders().factory(ctx.job->value_or("protocol", ""),
+                                      target_args(ctx));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
+  }
+}
+
+/// CC episode shape: `duration = <seconds>` shortens Figure 5's 30-s
+/// episodes (1000 epochs) — campaigns and tests use it to bound work.
+core::CcAdversaryEnv::Params cc_env_params(const JobContext& ctx) {
+  core::CcAdversaryEnv::Params params;
+  params.episode_duration_s =
+      double_param(ctx, "duration", params.episode_duration_s);
+  if (params.episode_duration_s <= 0.0) {
+    job_fail(ctx, "duration must be a positive number of episode seconds");
+  }
+  return params;
+}
+
+/// Per-trace regret summary shared by both ABR record-traces paths.
+void write_summary(const abr::VideoManifest& manifest,
+                   const core::ProtocolFactory& make_target,
                    const std::vector<trace::Trace>& traces,
                    const std::string& path, double* mean_regret) {
   util::CsvWriter writer{path};
@@ -93,7 +142,7 @@ void write_summary(const JobContext& ctx, const abr::VideoManifest& manifest,
                                "regret"});
   double total = 0.0;
   for (std::size_t i = 0; i < traces.size(); ++i) {
-    auto target = protocol_param(ctx);
+    auto target = make_target();
     const double optimal = abr::optimal_playback(manifest, traces[i]).total_qoe;
     const double got =
         abr::run_playback(*target, manifest, traces[i]).total_qoe;
@@ -105,11 +154,28 @@ void write_summary(const JobContext& ctx, const abr::VideoManifest& manifest,
       traces.empty() ? 0.0 : total / static_cast<double>(traces.size());
 }
 
+/// Per-episode utilization summary, the CC analog of the regret summary
+/// (the adversary's success metric is how far below 1.0 it pins this).
+void write_cc_summary(const std::vector<core::CcEpisodeRecord>& episodes,
+                      const std::string& path, double* mean_utilization) {
+  util::CsvWriter writer{path};
+  writer.write_row(std::vector<std::string>{"trace", "mean_utilization"});
+  double total = 0.0;
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    writer.write_row(std::vector<double>{static_cast<double>(i),
+                                         episodes[i].mean_utilization});
+    total += episodes[i].mean_utilization;
+  }
+  *mean_utilization =
+      episodes.empty() ? 0.0 : total / static_cast<double>(episodes.size());
+}
+
 JobResult run_gen_traces(const JobContext& ctx) {
-  const std::string kind = ctx.job->value_or("generator", "");
-  const auto generator = make_trace_generator(kind);
-  if (generator == nullptr) {
-    job_fail(ctx, "unknown generator '" + kind + "' (fcc | 3g | random)");
+  std::unique_ptr<trace::TraceGenerator> generator;
+  try {
+    generator = core::trace_generators().make(ctx.job->value_or("generator", ""));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
   }
   const std::size_t count = scaled_count(size_param(ctx, "count", 100));
   util::Rng rng{ctx.seed};
@@ -127,25 +193,91 @@ JobResult run_train_adversary(const JobContext& ctx) {
     job_fail(ctx, "train-adversary supports adversary = ppo only; CEM is "
                   "trace-based — use record-traces with adversary = cem");
   }
-  auto protocol = protocol_param(ctx);
+  const core::TargetDomain domain = domain_param(ctx);
   const std::size_t steps =
       util::scaled_steps(size_param(ctx, "steps", 80000), 256);
-  const abr::VideoManifest manifest = job_manifest();
-  core::AbrAdversaryEnv env{manifest, *protocol};
-  rl::PpoAgent agent =
-      core::train_abr_adversary(env, steps, ctx.seed, nullptr, ctx.pool);
+
+  std::string target_name;
+  rl::PpoAgent agent = [&]() -> rl::PpoAgent {
+    if (domain == core::TargetDomain::kCc) {
+      const core::SenderFactory make_sender = cc_target_factory(ctx);
+      target_name = make_sender()->name();
+      core::CcAdversaryEnv env{cc_env_params(ctx), make_sender};
+      return core::train_adversary(env, core::adversary_ppo_config(domain),
+                                   steps, ctx.seed, nullptr, ctx.pool);
+    }
+    const auto protocol = abr_target_factory(ctx)();
+    target_name = protocol->name();
+    const abr::VideoManifest manifest = job_manifest();
+    core::AbrAdversaryEnv env{manifest, *protocol};
+    return core::train_adversary(env, core::adversary_ppo_config(domain),
+                                 steps, ctx.seed, nullptr, ctx.pool);
+  }();
+
   JobResult result;
   result.artifacts.push_back(ctx.artifact("_adversary.ckpt"));
   rl::save_checkpoint(agent, result.artifacts.back());
-  result.note = "PPO adversary vs " + protocol->name() + ", " +
+  result.note = "PPO adversary vs " + target_name + ", " +
                 std::to_string(steps) + " steps";
   return result;
 }
 
+/// The `from = <train-adversary job>` checkpoint both record paths load.
+std::string adversary_checkpoint(const JobContext& ctx) {
+  const std::string* from = ctx.job->find("from");
+  if (from == nullptr) {
+    job_fail(ctx, "record-traces with adversary = ppo needs from = "
+                  "<train-adversary job>");
+  }
+  return ctx.input_ending_with(*from, "_adversary.ckpt");
+}
+
 JobResult run_record_traces(const JobContext& ctx) {
-  const abr::VideoManifest manifest = job_manifest();
-  const std::size_t count = scaled_count(size_param(ctx, "count", 20));
+  const core::TargetDomain domain = domain_param(ctx);
   const std::string adversary = ctx.job->value_or("adversary", "ppo");
+  if (!core::adversary_kinds().contains(adversary)) {
+    job_fail(ctx, "unknown adversary '" + adversary + "' (" +
+                      core::adversary_kinds().names() + ")");
+  }
+  const std::size_t count = scaled_count(size_param(ctx, "count", 20));
+
+  if (domain == core::TargetDomain::kCc) {
+    if (adversary != "ppo") {
+      job_fail(ctx, "record-traces with domain = cc supports adversary = ppo "
+                    "only — CEM searches chunk-bandwidth traces, an ABR "
+                    "formulation");
+    }
+    const std::string checkpoint = adversary_checkpoint(ctx);
+    const core::SenderFactory make_sender = cc_target_factory(ctx);
+    const core::CcAdversaryEnv::Params params = cc_env_params(ctx);
+    core::CcAdversaryEnv env{params, make_sender};
+    rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                       core::adversary_ppo_config(domain), /*seed=*/0};
+    rl::load_checkpoint(agent, checkpoint);
+    const std::vector<core::CcEpisodeRecord> episodes =
+        core::record_cc_episodes(agent, params, make_sender, count, ctx.seed,
+                                 /*deterministic=*/false, ctx.pool);
+    std::vector<trace::Trace> traces;
+    traces.reserve(episodes.size());
+    for (const core::CcEpisodeRecord& episode : episodes) {
+      traces.push_back(episode.trace);
+    }
+    JobResult result;
+    result.artifacts.push_back(ctx.artifact("_traces.csv"));
+    trace::save_trace_set(traces, result.artifacts.back());
+    result.artifacts.push_back(ctx.artifact("_summary.csv"));
+    double mean_utilization = 0.0;
+    write_cc_summary(episodes, result.artifacts.back(), &mean_utilization);
+    char note[128];
+    std::snprintf(note, sizeof note,
+                  "%zu cc episodes, mean utilization %.1f%%", episodes.size(),
+                  100.0 * mean_utilization);
+    result.note = note;
+    return result;
+  }
+
+  const abr::VideoManifest manifest = job_manifest();
+  const core::ProtocolFactory make_target = abr_target_factory(ctx);
   std::vector<trace::Trace> traces;
 
   if (adversary == "cem") {
@@ -163,7 +295,7 @@ JobResult run_record_traces(const JobContext& ctx) {
     std::vector<util::Rng> streams = util::Rng{ctx.seed}.fork_streams(count);
     traces.resize(count);
     const auto search_one = [&](std::size_t i) {
-      auto target = protocol_param(ctx);
+      auto target = make_target();
       traces[i] = cem.search(manifest, *target, streams[i]).best_trace;
     };
     if (ctx.pool != nullptr) {
@@ -171,25 +303,17 @@ JobResult run_record_traces(const JobContext& ctx) {
     } else {
       for (std::size_t i = 0; i < count; ++i) search_one(i);
     }
-  } else if (adversary == "ppo") {
-    const std::string* from = ctx.job->find("from");
-    if (from == nullptr) {
-      job_fail(ctx, "record-traces with adversary = ppo needs from = "
-                    "<train-adversary job>");
-    }
-    const std::string checkpoint =
-        ctx.input_ending_with(*from, "_adversary.ckpt");
-    auto topology_protocol = protocol_param(ctx);
+  } else {
+    const std::string checkpoint = adversary_checkpoint(ctx);
+    const auto topology_protocol = make_target();
     core::AbrAdversaryEnv env{manifest, *topology_protocol};
     rl::PpoAgent agent{env.observation_size(), env.action_spec(),
-                       core::abr_adversary_ppo_config(), /*seed=*/0};
+                       core::adversary_ppo_config(domain), /*seed=*/0};
     rl::load_checkpoint(agent, checkpoint);
-    traces = core::record_abr_traces(
-        agent, manifest,
-        [&ctx]() { return protocol_param(ctx); }, core::AbrAdversaryEnv::Params{},
-        count, ctx.seed, /*deterministic=*/false, ctx.pool);
-  } else {
-    job_fail(ctx, "unknown adversary '" + adversary + "' (ppo | cem)");
+    traces = core::record_abr_traces(agent, manifest, make_target,
+                                     core::AbrAdversaryEnv::Params{}, count,
+                                     ctx.seed, /*deterministic=*/false,
+                                     ctx.pool);
   }
 
   JobResult result;
@@ -197,7 +321,8 @@ JobResult run_record_traces(const JobContext& ctx) {
   trace::save_trace_set(traces, result.artifacts.back());
   double mean_regret = 0.0;
   result.artifacts.push_back(ctx.artifact("_summary.csv"));
-  write_summary(ctx, manifest, traces, result.artifacts.back(), &mean_regret);
+  write_summary(manifest, make_target, traces, result.artifacts.back(),
+                &mean_regret);
   char note[128];
   std::snprintf(note, sizeof note, "%zu traces, mean regret %.2f QoE",
                 traces.size(), mean_regret);
@@ -206,6 +331,7 @@ JobResult run_record_traces(const JobContext& ctx) {
 }
 
 JobResult run_replay(const JobContext& ctx) {
+  const core::TargetDomain domain = domain_param(ctx);
   const std::string* set_job = ctx.job->find("traces");
   std::string set_path;
   if (set_job != nullptr) {
@@ -216,9 +342,36 @@ JobResult run_replay(const JobContext& ctx) {
     job_fail(ctx, "replay needs traces = <trace-set job> or trace_file = ...");
   }
   const std::vector<trace::Trace> traces = trace::load_trace_set(set_path);
+
+  if (domain == core::TargetDomain::kCc) {
+    const core::SenderFactory make_sender = cc_target_factory(ctx);
+    const std::vector<core::CcReplayResult> replays =
+        core::replay_cc_traces(make_sender, traces, {}, ctx.seed, ctx.pool);
+    JobResult result;
+    result.artifacts.push_back(ctx.artifact("_replay.csv"));
+    util::CsvWriter writer{result.artifacts.back()};
+    writer.write_row(
+        std::vector<std::string>{"trace", "utilization", "throughput_mbps"});
+    double total = 0.0;
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+      writer.write_row(std::vector<double>{static_cast<double>(i),
+                                           replays[i].mean_utilization,
+                                           replays[i].mean_throughput_mbps});
+      total += replays[i].mean_utilization;
+    }
+    char note[128];
+    std::snprintf(
+        note, sizeof note, "%zu cc replays, mean utilization %.1f%%",
+        replays.size(),
+        replays.empty() ? 0.0
+                        : 100.0 * total / static_cast<double>(replays.size()));
+    result.note = note;
+    return result;
+  }
+
   const abr::VideoManifest manifest = job_manifest();
   const std::vector<double> qoe = abr::qoe_per_trace(
-      [&ctx]() { return protocol_param(ctx); }, manifest, traces, {}, ctx.pool);
+      abr_target_factory(ctx), manifest, traces, {}, ctx.pool);
   JobResult result;
   result.artifacts.push_back(ctx.artifact("_qoe.csv"));
   util::CsvWriter writer{result.artifacts.back()};
@@ -233,6 +386,17 @@ JobResult run_replay(const JobContext& ctx) {
   return result;
 }
 
+/// `key = <generator>` resolved against the registry, with the param name in
+/// the failure so grid/round specs pinpoint the bad line.
+std::unique_ptr<trace::TraceGenerator> generator_param(
+    const JobContext& ctx, const std::string& key, const std::string& kind) {
+  try {
+    return core::trace_generators().make(kind);
+  } catch (const std::exception& e) {
+    job_fail(ctx, key + ": " + e.what());
+  }
+}
+
 JobResult run_robustify_round(const JobContext& ctx) {
   const abr::VideoManifest manifest = job_manifest();
 
@@ -243,16 +407,13 @@ JobResult run_robustify_round(const JobContext& ctx) {
     corpus = trace::load_trace_set(
         ctx.input_ending_with(*corpus_from, "_traces.csv"));
   } else if (const std::string* train_set = ctx.job->find("train_set")) {
-    const auto generator = make_trace_generator(*train_set);
-    if (generator == nullptr) {
-      job_fail(ctx, "unknown train_set '" + *train_set + "'");
-    }
+    const auto generator = generator_param(ctx, "train_set", *train_set);
     util::Rng rng{ctx.seed ^ 0x9e3779b97f4a7c15ULL};
     corpus = generator->generate_many(
         scaled_count(size_param(ctx, "corpus_count", 100)), rng);
   } else {
     job_fail(ctx, "robustify-round needs corpus_from = <gen-traces job> or "
-                  "train_set = fcc|3g|random");
+                  "train_set = " + core::trace_generators().names());
   }
   for (const auto& prev : util::split_list(ctx.job->value_or("traces_from", ""))) {
     const std::vector<trace::Trace> extra =
@@ -284,10 +445,7 @@ JobResult run_robustify_round(const JobContext& ctx) {
 
   // Held-out evaluation with a *pinned* seed so rounds stay comparable.
   const std::string eval_kind = ctx.job->value_or("eval_set", "fcc");
-  const auto eval_generator = make_trace_generator(eval_kind);
-  if (eval_generator == nullptr) {
-    job_fail(ctx, "unknown eval_set '" + eval_kind + "'");
-  }
+  const auto eval_generator = generator_param(ctx, "eval_set", eval_kind);
   util::Rng eval_rng{size_param(ctx, "eval_seed", 20190707)};
   const std::vector<trace::Trace> eval_traces = eval_generator->generate_many(
       scaled_count(size_param(ctx, "eval_count", 50)), eval_rng);
@@ -327,29 +485,25 @@ JobResult run_robustify_round(const JobContext& ctx) {
 
 JobRegistry builtin_jobs() {
   JobRegistry registry;
-  registry.add("gen-traces", run_gen_traces);
-  registry.add("train-adversary", run_train_adversary);
-  registry.add("record-traces", run_record_traces);
-  registry.add("replay", run_replay);
-  registry.add("robustify-round", run_robustify_round);
+  registry.add("gen-traces",
+               "synthesize a trace corpus (generator =, count =)",
+               run_gen_traces);
+  registry.add("train-adversary",
+               "train a PPO adversary against a protocol/sender "
+               "(domain =, protocol =, steps =)",
+               run_train_adversary);
+  registry.add("record-traces",
+               "roll a trained adversary out (or CEM-search) into a "
+               "replayable corpus (from =, count =)",
+               run_record_traces);
+  registry.add("replay",
+               "replay a recorded trace set against a protocol/sender "
+               "(traces =)",
+               run_replay);
+  registry.add("robustify-round",
+               "one Section-2.3 adversarial-training round of Pensieve",
+               run_robustify_round);
   return registry;
-}
-
-std::unique_ptr<abr::AbrProtocol> make_abr_protocol(const std::string& kind) {
-  if (kind == "bb") return std::make_unique<abr::BufferBased>();
-  if (kind == "bola") return std::make_unique<abr::Bola>();
-  if (kind == "mpc") return std::make_unique<abr::RobustMpc>();
-  if (kind == "throughput") return std::make_unique<abr::ThroughputRule>();
-  return nullptr;
-}
-
-std::unique_ptr<trace::TraceGenerator> make_trace_generator(
-    const std::string& kind) {
-  if (kind == "fcc") return std::make_unique<trace::FccLikeGenerator>();
-  if (kind == "3g") return std::make_unique<trace::Hsdpa3gLikeGenerator>();
-  if (kind == "random")
-    return std::make_unique<trace::UniformRandomGenerator>();
-  return nullptr;
 }
 
 }  // namespace netadv::exp

@@ -1,16 +1,32 @@
-// Built-in campaign job kinds — the paper's recipe steps as executors:
+// Built-in campaign job kinds — the paper's recipe steps as executors.
 //
-//   gen-traces       generator=fcc|3g|random  count=N
+// Target names resolve through the core:: registries (core/registry.hpp),
+// so the lists below never go stale: unknown names fail with the live
+// registry enumerated, and `netadv_cli list` prints what is available.
+// The train/record/replay kinds are domain-neutral — `domain = abr`
+// (default) attacks an ABR protocol, `domain = cc` attacks a congestion
+// controller over the Table-1 link:
+//
+//   gen-traces       generator=<trace_generators()>  count=N
 //                    -> <id>_traces.csv
-//   train-adversary  protocol=bb|bola|mpc|throughput  steps=N
+//   train-adversary  domain=abr protocol=<abr_protocols()>  steps=N
 //                    -> <id>_adversary.ckpt  (PPO, Section 3 topology)
-//   record-traces    protocol=... count=N  and either from=<train job>
-//                    (roll out its checkpoint) or adversary=cem
-//                    (population=, iterations= — trace-based search;
-//                    searching *is* recording)
+//                    domain=cc  protocol=<cc_senders()>  steps=N
+//                    [duration=<episode seconds>]
+//                    -> <id>_adversary.ckpt  (PPO, Section 4 topology)
+//   record-traces    domain=abr protocol=... count=N  and either
+//                    from=<train job> (roll out its checkpoint) or
+//                    adversary=cem (population=, iterations= — trace-based
+//                    search; searching *is* recording)
 //                    -> <id>_traces.csv, <id>_summary.csv (per-trace regret)
-//   replay           protocol=...  traces=<trace-set job>
+//                    domain=cc  protocol=... count=N from=<train job>
+//                    [duration=...]
+//                    -> <id>_traces.csv (30-ms link schedules),
+//                       <id>_summary.csv (per-episode utilization)
+//   replay           domain=abr protocol=...  traces=<trace-set job>
 //                    -> <id>_qoe.csv (QoE per trace)
+//                    domain=cc  protocol=...  traces=<trace-set job>
+//                    -> <id>_replay.csv (utilization + throughput per trace)
 //   robustify-round  one Section-2.3 round: continue Pensieve from
 //                    init=<prev round> (or fresh), train an adversary
 //                    against it, record traces, retrain on the augmented
@@ -19,6 +35,10 @@
 //                    adversary_steps=, traces=, eval_set=, eval_count=
 //                    -> <id>_pensieve.ckpt, <id>_traces.csv, <id>_metrics.csv
 //
+// The `pensieve` protocol entry additionally takes `checkpoint = <path>` or
+// `checkpoint_from = <job id>` (resolved to that job's _pensieve.ckpt), so
+// robustified policies can themselves be attacked/replayed by name.
+//
 // Step budgets and corpus sizes honor NETADV_SCALE exactly like the bench
 // binaries (util::scaled_steps), so `NETADV_SCALE=0.01` smoke-runs a whole
 // campaign. Every executor is a pure function of (params, resolved seed,
@@ -26,21 +46,11 @@
 // count, and the manifest's provenance hashes stay meaningful.
 #pragma once
 
-#include <memory>
-#include <string>
-
-#include "abr/protocol.hpp"
 #include "exp/scheduler.hpp"
-#include "trace/generators.hpp"
 
 namespace netadv::exp {
 
 /// Registry with every built-in kind above (the CLI's default).
 JobRegistry builtin_jobs();
-
-/// Shared name -> object factories (also used by netadv_cli).
-std::unique_ptr<abr::AbrProtocol> make_abr_protocol(const std::string& kind);
-std::unique_ptr<trace::TraceGenerator> make_trace_generator(
-    const std::string& kind);
 
 }  // namespace netadv::exp

@@ -63,12 +63,35 @@ std::string JobContext::input_ending_with(const std::string& id,
 }
 
 void JobRegistry::add(const std::string& kind, JobExecutor executor) {
-  executors_[kind] = std::move(executor);
+  add(kind, "", std::move(executor));
+}
+
+void JobRegistry::add(const std::string& kind, std::string description,
+                      JobExecutor executor) {
+  executors_[kind] = {std::move(description), std::move(executor)};
 }
 
 const JobExecutor* JobRegistry::find(const std::string& kind) const noexcept {
   const auto it = executors_.find(kind);
-  return it == executors_.end() ? nullptr : &it->second;
+  return it == executors_.end() ? nullptr : &it->second.executor;
+}
+
+std::vector<std::pair<std::string, std::string>> JobRegistry::kinds() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(executors_.size());
+  for (const auto& [kind, entry] : executors_) {
+    out.emplace_back(kind, entry.description);
+  }
+  return out;
+}
+
+std::string JobRegistry::names(const std::string& separator) const {
+  std::string joined;
+  for (const auto& [kind, entry] : executors_) {
+    if (!joined.empty()) joined += separator;
+    joined += kind;
+  }
+  return joined;
 }
 
 const JobOutcome& CampaignReport::outcome_of(const std::string& id) const {
@@ -88,7 +111,8 @@ CampaignReport run_campaign(const Campaign& campaign,
     if (registry.find(job.kind) == nullptr) {
       throw std::runtime_error{"campaign '" + campaign.name +
                                "': no executor registered for kind '" +
-                               job.kind + "' (job '" + job.id + "')"};
+                               job.kind + "' (job '" + job.id + "'; have " +
+                               registry.names() + ")"};
     }
   }
 

@@ -62,15 +62,27 @@ struct JobContext {
 
 using JobExecutor = std::function<JobResult(const JobContext&)>;
 
-/// kind -> executor. Start from builtin_jobs() (jobs.hpp) and add
-/// campaign-specific kinds (bench_fig4 registers its cell executor).
+/// kind -> executor + one-line description (self-describing, like the
+/// core:: target registries — `netadv_cli list jobs` prints it). Start from
+/// builtin_jobs() (jobs.hpp) and add campaign-specific kinds (bench_fig4
+/// registers its cell executor).
 class JobRegistry {
  public:
   void add(const std::string& kind, JobExecutor executor);
+  void add(const std::string& kind, std::string description,
+           JobExecutor executor);
   const JobExecutor* find(const std::string& kind) const noexcept;
+  /// (kind, description) pairs, sorted by kind.
+  std::vector<std::pair<std::string, std::string>> kinds() const;
+  /// Every registered kind joined by `separator`, for error messages.
+  std::string names(const std::string& separator = " | ") const;
 
  private:
-  std::map<std::string, JobExecutor> executors_;
+  struct Entry {
+    std::string description;
+    JobExecutor executor;
+  };
+  std::map<std::string, Entry> executors_;
 };
 
 struct SchedulerOptions {

@@ -52,6 +52,43 @@ TEST(Cli, UnknownProtocolIsAUsageError) {
   EXPECT_EQ(run_cli("eval no-such-protocol /dev/null"), 2);
 }
 
+TEST(Cli, ListPrintsEveryRegistryWithDomains) {
+  std::string output;
+  ASSERT_EQ(run_cli("list", &output), 0);
+  EXPECT_NE(output.find("ABR protocols:"), std::string::npos);
+  EXPECT_NE(output.find("CC senders:"), std::string::npos);
+  EXPECT_NE(output.find("trace generators:"), std::string::npos);
+  EXPECT_NE(output.find("adversary kinds:"), std::string::npos);
+  EXPECT_NE(output.find("campaign job kinds:"), std::string::npos);
+  for (const char* name : {"pensieve", "vivace", "3g", "cem", "gen-traces"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << name;
+  }
+  // Domain column: bbr is a cc entry, ppo is domain-neutral.
+  EXPECT_NE(output.find("cc"), std::string::npos);
+  EXPECT_NE(output.find("any"), std::string::npos);
+}
+
+TEST(Cli, ListAcceptsASingleCategory) {
+  std::string output;
+  ASSERT_EQ(run_cli("list senders", &output), 0);
+  EXPECT_NE(output.find("cubic"), std::string::npos);
+  EXPECT_EQ(output.find("ABR protocols:"), std::string::npos);
+}
+
+TEST(Cli, ListUnknownCategoryIsAUsageError) {
+  std::string output;
+  EXPECT_EQ(run_cli("list frobnicators", &output), 2);
+  EXPECT_NE(output.find("unknown category"), std::string::npos);
+}
+
+TEST(Cli, KnownEntryWithFailingFactoryIsARuntimeError) {
+  // `pensieve` is a registered name (not a usage error), but resolving it
+  // without a checkpoint fails at construction time: exit 1.
+  std::string output;
+  EXPECT_EQ(run_cli("eval pensieve /dev/null", &output), 1);
+  EXPECT_NE(output.find("checkpoint"), std::string::npos);
+}
+
 TEST(Cli, GenWritesTraceFiles) {
   const std::string prefix = out_dir() + "/gen";
   std::string output;

@@ -189,6 +189,54 @@ TEST(Campaign, GridNeedsExactlyOneSweepAxis) {
       std::runtime_error);
 }
 
+// Grids are validated against the live core:: registries at load time, so a
+// typo fails with the real name list before any job runs.
+TEST(Campaign, GridValidatesNamesAgainstTheLiveRegistries) {
+  try {
+    campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                  "[job g]\nkind = grid\nprotocols = bb, warp\n"
+                  "adversaries = ppo\n");
+    FAIL() << "unknown protocol must fail at load time";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown protocol 'warp'"), std::string::npos) << what;
+    EXPECT_NE(what.find("pensieve"), std::string::npos)
+        << "error should enumerate the registry: " << what;
+  }
+  // domain = cc resolves names against the sender registry instead...
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                             "[job g]\nkind = grid\ndomain = cc\n"
+                             "protocols = bb\nadversaries = ppo\n"),
+               std::runtime_error);
+  // ...and rejects the ABR-only CEM adversary up front.
+  try {
+    campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                  "[job g]\nkind = grid\ndomain = cc\n"
+                  "protocols = bbr\nadversaries = cem\n");
+    FAIL() << "cem in a cc grid must fail at load time";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("abr-only"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Campaign, GridExpandsCcSweepsAndForwardsDomain) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job sweep]\nkind = grid\ndomain = cc\n"
+      "protocols = bbr, vivace\nadversaries = ppo\nseeds = 1\n");
+  // 2 senders x (ppo -> train + record) x 1 seed.
+  ASSERT_EQ(c.jobs.size(), 4u);
+  const std::size_t train = c.job_index("sweep-bbr-ppo-s1-train");
+  const std::size_t record = c.job_index("sweep-bbr-ppo-s1");
+  ASSERT_NE(train, static_cast<std::size_t>(-1));
+  ASSERT_NE(record, static_cast<std::size_t>(-1));
+  // `domain` forwards to every expanded point so the job executors pick the
+  // CC stack.
+  EXPECT_EQ(c.jobs[train].value_or("domain", ""), "cc");
+  EXPECT_EQ(c.jobs[record].value_or("domain", ""), "cc");
+}
+
 TEST(Campaign, SeedsAreDeterministicAndOverridable) {
   const exp::Campaign c = campaign_from(
       "[campaign]\nname = x\nseed = 9\nout_dir = /tmp/x\n"
@@ -450,11 +498,78 @@ TEST(BuiltinJobs, GenReplayPipelineProducesQoePerTrace) {
   EXPECT_NE(qoe.find("trace,qoe"), std::string::npos);
 }
 
-TEST(BuiltinJobs, FactoriesRejectUnknownNames) {
-  EXPECT_EQ(exp::make_abr_protocol("nope"), nullptr);
-  EXPECT_NE(exp::make_abr_protocol("bola"), nullptr);
-  EXPECT_EQ(exp::make_trace_generator("nope"), nullptr);
-  EXPECT_NE(exp::make_trace_generator("3g"), nullptr);
+// A bad target name must fail the job before any artifact exists (the
+// factory is resolved once, up front — not once per trace mid-CSV), and the
+// error must enumerate the live registry, not a hand-maintained list.
+TEST(BuiltinJobs, UnknownTargetFailsBeforeAnyArtifactIsWritten) {
+  const std::string dir = temp_dir("netadv_builtin_unknown");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = bad\nout_dir = " + dir + "\n"
+      "[job rec]\nkind = record-traces\nadversary = cem\nprotocol = warp\n"
+      "count = 2\n");
+  const exp::CampaignReport report = exp::run_campaign(c, exp::builtin_jobs());
+  EXPECT_FALSE(report.ok());
+  const std::string& error = report.outcome_of("rec").error;
+  EXPECT_NE(error.find("unknown protocol 'warp'"), std::string::npos);
+  EXPECT_NE(error.find("bb | bola | mpc | throughput | pensieve"),
+            std::string::npos)
+      << error;
+  EXPECT_FALSE(std::filesystem::exists(dir + "/rec_traces.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/rec_summary.csv"));
+}
+
+// ------------------------------------------------- domain = cc campaigns
+
+/// The full CC pipeline: train a PPO adversary against cubic, record
+/// episodes through its checkpoint, replay the recorded link schedules
+/// against BBR. `duration = 2` keeps episodes to ~66 epochs.
+std::string cc_pipeline_spec(const std::string& dir) {
+  return "[campaign]\nname = cc-e2e\nseed = 41\nout_dir = " + dir + "\n"
+         "[job train]\nkind = train-adversary\ndomain = cc\n"
+         "protocol = cubic\nsteps = 256\nduration = 2\n"
+         "[job rec]\nkind = record-traces\nafter = train\nfrom = train\n"
+         "domain = cc\nprotocol = cubic\ncount = 2\nduration = 2\n"
+         "[job rep]\nkind = replay\nafter = rec\ntraces = rec\n"
+         "domain = cc\nprotocol = bbr\n";
+}
+
+TEST(BuiltinJobs, CcCampaignRunsEndToEnd) {
+  const std::string dir = temp_dir("netadv_builtin_cc");
+  const exp::CampaignReport report = exp::run_campaign(
+      campaign_from(cc_pipeline_spec(dir)), exp::builtin_jobs());
+  ASSERT_TRUE(report.ok());
+  const std::vector<trace::Trace> traces =
+      trace::load_trace_set(dir + "/rec_traces.csv");
+  ASSERT_EQ(traces.size(), 2u);
+  // Recorded link schedules are per-epoch (duration / epoch_s segments).
+  EXPECT_GE(traces[0].size(), 50u);
+  EXPECT_NE(read_file(dir + "/rec_summary.csv").find("trace,mean_utilization"),
+            std::string::npos);
+  EXPECT_NE(read_file(dir + "/rep_replay.csv")
+                .find("trace,utilization,throughput_mbps"),
+            std::string::npos);
+}
+
+// The determinism contract extends to the CC job kinds: every artifact in
+// the pipeline is bit-identical at NETADV_THREADS in {1, 2, 8}.
+TEST(BuiltinJobs, CcCampaignArtifactsAreIdenticalAcrossThreadCounts) {
+  const std::string base = temp_dir("netadv_builtin_cc_t1");
+  exp::run_campaign(campaign_from(cc_pipeline_spec(base)),
+                    exp::builtin_jobs());
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::string dir =
+        temp_dir("netadv_builtin_cc_t" + std::to_string(threads));
+    util::ThreadPool pool{threads};
+    exp::SchedulerOptions options;
+    options.pool = &pool;
+    exp::run_campaign(campaign_from(cc_pipeline_spec(dir)),
+                      exp::builtin_jobs(), options);
+    for (const char* name : {"train_adversary.ckpt", "rec_traces.csv",
+                             "rec_summary.csv", "rep_replay.csv"}) {
+      EXPECT_EQ(read_file(base + "/" + name), read_file(dir + "/" + name))
+          << name << " differs at " << threads << " threads";
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,148 @@
+// Unit tests for the domain-neutral target registry (core/registry.hpp):
+// name lookup, enumerating unknown-name errors, duplicate rejection, the
+// FactoryArgs override/fallback contract, and the checkpoint-parameterized
+// `pensieve` entry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "abr/pensieve.hpp"
+#include "abr/protocol.hpp"
+#include "abr/runner.hpp"
+#include "abr/video.hpp"
+#include "cc/sender.hpp"
+#include "core/registry.hpp"
+#include "rl/checkpoint.hpp"
+#include "trace/generators.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace netadv;
+
+TEST(Registry, DomainRoundTripsAndRejectsUnknownSpellings) {
+  EXPECT_EQ(core::to_string(core::TargetDomain::kAbr), "abr");
+  EXPECT_EQ(core::to_string(core::TargetDomain::kCc), "cc");
+  EXPECT_EQ(core::to_string(core::TargetDomain::kAny), "any");
+  EXPECT_EQ(core::parse_domain("abr"), core::TargetDomain::kAbr);
+  EXPECT_EQ(core::parse_domain("cc"), core::TargetDomain::kCc);
+  try {
+    core::parse_domain("video");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "unknown domain 'video' (abr | cc)");
+  }
+}
+
+TEST(Registry, LiveRegistriesServeTheExpectedEntries) {
+  EXPECT_EQ(core::abr_protocols().names(),
+            "bb | bola | mpc | throughput | pensieve");
+  EXPECT_EQ(core::cc_senders().names(), "bbr | cubic | copa | vivace | reno");
+  EXPECT_EQ(core::trace_generators().names("|"), "fcc|3g|random");
+  EXPECT_EQ(core::adversary_kinds().names(), "ppo | cem");
+
+  // Constructed objects self-identify (names the CSV/summary layer prints).
+  EXPECT_EQ(core::abr_protocols().make("mpc")->name(), "mpc");
+  EXPECT_EQ(core::cc_senders().make("bbr")->name(), "bbr");
+  EXPECT_NE(core::trace_generators().make("3g"), nullptr);
+
+  // Domain metadata drives grid validation and `netadv_cli list`.
+  ASSERT_NE(core::abr_protocols().info("bola"), nullptr);
+  EXPECT_EQ(core::abr_protocols().info("bola")->domain,
+            core::TargetDomain::kAbr);
+  EXPECT_EQ(core::cc_senders().info("cubic")->domain, core::TargetDomain::kCc);
+  EXPECT_EQ(core::adversary_kinds().info("ppo")->domain,
+            core::TargetDomain::kAny);
+  EXPECT_EQ(core::adversary_kinds().info("cem")->domain,
+            core::TargetDomain::kAbr);
+  EXPECT_FALSE(core::adversary_kinds().info("cem")->description.empty());
+}
+
+TEST(Registry, UnknownNamesReturnNullOrThrowEnumeratingTheRegistry) {
+  EXPECT_EQ(core::abr_protocols().try_make("nope"), nullptr);
+  EXPECT_NE(core::abr_protocols().try_make("bola"), nullptr);
+  EXPECT_EQ(core::trace_generators().try_make("nope"), nullptr);
+  EXPECT_FALSE(core::cc_senders().contains("nope"));
+  EXPECT_EQ(core::cc_senders().info("nope"), nullptr);
+  try {
+    core::abr_protocols().make("nope");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(),
+                 "unknown protocol 'nope' (bb | bola | mpc | throughput | "
+                 "pensieve)");
+  }
+  // factory() resolves up front: the throw happens here, not on first call.
+  EXPECT_THROW(core::cc_senders().factory("nope"), std::runtime_error);
+}
+
+TEST(Registry, DuplicateRegistrationIsRejected) {
+  core::Registry<cc::CcSender> reg{"sender"};
+  const auto factory = [](const core::FactoryArgs&) {
+    return std::unique_ptr<cc::CcSender>{};
+  };
+  reg.add("x", core::TargetDomain::kCc, "first", factory);
+  try {
+    reg.add("x", core::TargetDomain::kCc, "second", factory);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "duplicate sender registration: 'x'");
+  }
+}
+
+TEST(Registry, FactoryArgsOverridesShadowTheBoundFallback) {
+  const std::string fallback_value = "from-fallback";
+  core::FactoryArgs args;
+  args.bind([&fallback_value](const std::string& key) -> const std::string* {
+    return key == "checkpoint" || key == "only-fallback" ? &fallback_value
+                                                         : nullptr;
+  });
+  EXPECT_EQ(args.value_or("checkpoint", ""), "from-fallback");
+  args.set("checkpoint", "from-override");
+  EXPECT_EQ(args.value_or("checkpoint", ""), "from-override");
+  EXPECT_EQ(args.value_or("only-fallback", ""), "from-fallback");
+  EXPECT_EQ(args.find("absent"), nullptr);
+  EXPECT_EQ(args.value_or("absent", "dflt"), "dflt");
+}
+
+TEST(Registry, PensieveEntryRoundTripsThroughACheckpoint) {
+  // Without `checkpoint =` the entry must fail loudly (there is no such
+  // thing as an untrained Pensieve target).
+  try {
+    core::abr_protocols().make("pensieve");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("checkpoint"), std::string::npos);
+  }
+
+  // Save an (untrained but well-formed) agent, then target it by name + path.
+  abr::VideoManifest::Params mp;
+  mp.size_variation = 0.0;
+  const abr::VideoManifest manifest{mp};
+  const rl::PpoAgent agent = abr::make_pensieve_agent(manifest, /*seed=*/7);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_registry_pensieve.ckpt")
+          .string();
+  rl::save_checkpoint(agent, path);
+
+  core::FactoryArgs args;
+  args.set("checkpoint", path);
+  const auto protocol = core::abr_protocols().make("pensieve", args);
+  ASSERT_NE(protocol, nullptr);
+  EXPECT_EQ(protocol->name(), "pensieve");
+
+  // The loaded policy is a functioning ABR target: factory() is repeatable
+  // and each instance plays back a trace deterministically.
+  const auto make_pensieve = core::abr_protocols().factory("pensieve", args);
+  util::Rng rng{11};
+  const trace::Trace t = trace::UniformRandomGenerator{{}}.generate(rng);
+  const double qoe_a = abr::run_playback(*make_pensieve(), manifest, t).total_qoe;
+  const double qoe_b = abr::run_playback(*make_pensieve(), manifest, t).total_qoe;
+  EXPECT_EQ(qoe_a, qoe_b);
+  std::filesystem::remove(path);
+}
+
+}  // namespace

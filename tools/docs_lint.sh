@@ -6,6 +6,11 @@
 # EXPERIMENTS.md — so every figure/table keeps a runnable command and no
 # documented command can rot. Registered as the `docs_lint` ctest and run as
 # its own CI lane.
+#
+# When NETADV_CLI points at a built netadv_cli, a second check diffs
+# README.md's registry table (the registry-table-begin/-end block) against
+# the live `netadv_cli list` output; it self-skips otherwise (the docs-lint
+# CI lane runs without building — the ctest registration sets NETADV_CLI).
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -31,6 +36,28 @@ for b in $registered; do
     status=1
   fi
 done
+
+# README's registry table vs the live registries, via `netadv_cli list`.
+readme="$root/README.md"
+if [ -n "${NETADV_CLI:-}" ] && [ -x "${NETADV_CLI:-}" ]; then
+  doc_names="$(sed -n '/registry-table-begin/,/registry-table-end/p' "$readme" |
+               sed -n 's/^| `\([a-z0-9_-]*\)`.*/\1/p' | sort -u)"
+  live_names="$("$NETADV_CLI" list protocols senders generators adversaries |
+                awk '/^  / { print $1 }' | sort -u)"
+  if [ -z "$doc_names" ]; then
+    echo "docs-lint: README.md has no registry-table-begin/-end block" >&2
+    status=1
+  elif [ "$doc_names" != "$live_names" ]; then
+    echo "docs-lint: README registry table is out of sync with 'netadv_cli list':" >&2
+    echo "--- README table:" >&2
+    printf '%s\n' "$doc_names" >&2
+    echo "--- netadv_cli list:" >&2
+    printf '%s\n' "$live_names" >&2
+    status=1
+  fi
+else
+  echo "docs-lint: NETADV_CLI not set; skipping the README registry-table check"
+fi
 
 if [ "$status" -eq 0 ]; then
   echo "docs-lint: OK ($(printf '%s\n' "$registered" | wc -l | tr -d ' ') bench targets cross-checked)"
