@@ -8,7 +8,9 @@
 // updates, a miniature Figure-1 pipeline (concurrent adversary training +
 // batch trace recording) at 1/2/N threads, the campaign DAG scheduler
 // (per-job dispatch overhead and a miniature campaign at 1/2/8 threads),
-// and the scalar-vs-AVX2 MLP math kernels — and drops the numbers as
+// the scalar-vs-AVX2/AVX-512 MLP math kernels, the fp32 inference fast
+// path vs the fp64 SIMD kernels, and a shadow-gradient epoch with the
+// rollout activation cache on vs off — and drops the numbers as
 // bench_out/BENCH_parallel.json so the perf trajectory of the threading
 // and SIMD work is tracked across PRs.
 // Every section also re-checks the determinism contract: results at N
@@ -24,6 +26,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "abr/bb.hpp"
@@ -39,7 +42,10 @@
 #include "exp/campaign.hpp"
 #include "exp/jobs.hpp"
 #include "exp/scheduler.hpp"
+#include "rl/distributions.hpp"
 #include "rl/kernels.hpp"
+#include "rl/ppo.hpp"
+#include "rl/rollout.hpp"
 #include "rl/toy_envs.hpp"
 #include "rl/vec_env.hpp"
 #include "trace/generators.hpp"
@@ -543,16 +549,19 @@ void write_parallel_artifact() {
       dispatch_samples.front().seconds /
       static_cast<double>(dispatch_jobs) * 1e6;
 
-  // --- kernels: scalar vs AVX2 backends of the MLP math kernels. Direct
-  // backend calls (no dispatch flip), so both are timed in one process and
-  // the outputs can be compared bit for bit — the same identity the
-  // test_kernels suite gates on. ---
+  // --- kernels: scalar vs AVX2 (and, where the host supports it, AVX-512)
+  // backends of the MLP math kernels. Direct backend calls (no dispatch
+  // flip), so all are timed in one process and the outputs can be compared
+  // bit for bit — the same identity the test_kernels suite gates on. ---
   struct KernelSample {
     const char* name = "";
     double scalar_seconds = 0.0;
     double simd_seconds = 0.0;
+    double avx512_seconds = 0.0;  // 0 when the host cannot run AVX-512
     bool bit_identical = true;
   };
+  const bool kernel_avx512_available =
+      rl::kernels::backend_available(rl::kernels::Backend::kAvx512);
   std::vector<KernelSample> kernel_samples;
   {
     util::Rng krng{77};
@@ -566,7 +575,7 @@ void write_parallel_artifact() {
     {
       KernelSample s;
       s.name = "gemm_64x64_batch256";
-      rl::Vec ys(kb * kr, 0.0), yv(kb * kr, 0.0);
+      rl::Vec ys(kb * kr, 0.0), yv(kb * kr, 0.0), yz(kb * kr, 0.0);
       const std::size_t reps = 40;
       s.scalar_seconds = time_seconds([&] {
         for (std::size_t i = 0; i < reps; ++i) {
@@ -579,12 +588,20 @@ void write_parallel_artifact() {
         }
       });
       s.bit_identical = (ys == yv);
+      if (kernel_avx512_available) {
+        s.avx512_seconds = time_seconds([&] {
+          for (std::size_t i = 0; i < reps; ++i) {
+            rl::kernels::avx512::gemm(kw, kr, kc, kxb, kb, kb_bias, yz);
+          }
+        });
+        s.bit_identical = s.bit_identical && (ys == yz);
+      }
       kernel_samples.push_back(s);
     }
     {
       KernelSample s;
       s.name = "gemv_64x64";
-      rl::Vec ys(kr, 0.0), yv(kr, 0.0);
+      rl::Vec ys(kr, 0.0), yv(kr, 0.0), yz(kr, 0.0);
       const std::size_t reps = 20000;
       s.scalar_seconds = time_seconds([&] {
         for (std::size_t i = 0; i < reps; ++i) {
@@ -597,6 +614,14 @@ void write_parallel_artifact() {
         }
       });
       s.bit_identical = (ys == yv);
+      if (kernel_avx512_available) {
+        s.avx512_seconds = time_seconds([&] {
+          for (std::size_t i = 0; i < reps; ++i) {
+            rl::kernels::avx512::gemv(kw, kr, kc, kx, kb_bias, yz);
+          }
+        });
+        s.bit_identical = s.bit_identical && (ys == yz);
+      }
       kernel_samples.push_back(s);
     }
     {
@@ -605,7 +630,7 @@ void write_parallel_artifact() {
       rl::Vec a(4096), c(4096);
       for (auto& v : a) v = krng.uniform(-1.0, 1.0);
       for (auto& v : c) v = krng.uniform(-1.0, 1.0);
-      double rs = 0.0, rv = 0.0;
+      double rs = 0.0, rv = 0.0, rz = 0.0;
       const std::size_t reps = 20000;
       s.scalar_seconds = time_seconds([&] {
         for (std::size_t i = 0; i < reps; ++i) rs += rl::kernels::scalar::dot(a, c);
@@ -614,6 +639,14 @@ void write_parallel_artifact() {
         for (std::size_t i = 0; i < reps; ++i) rv += rl::kernels::avx2::dot(a, c);
       });
       s.bit_identical = (rs == rv);
+      if (kernel_avx512_available) {
+        s.avx512_seconds = time_seconds([&] {
+          for (std::size_t i = 0; i < reps; ++i) {
+            rz += rl::kernels::avx512::dot(a, c);
+          }
+        });
+        s.bit_identical = s.bit_identical && (rs == rz);
+      }
       kernel_samples.push_back(s);
     }
   }
@@ -627,6 +660,184 @@ void write_parallel_artifact() {
       kernel_gemm_speedup = s.scalar_seconds / s.simd_seconds;
     }
   }
+
+  // --- kernels_f32: the fp32 inference fast path vs the fp64 SIMD kernels,
+  // both through the dispatched entry points (the active backend — the best
+  // this host supports). fp32 halves memory traffic and doubles SIMD width,
+  // so the gemm target is >= 2x over fp64. ---
+  struct F32Sample {
+    const char* name = "";
+    double f64_seconds = 0.0;
+    double f32_seconds = 0.0;
+  };
+  std::vector<F32Sample> f32_samples;
+  {
+    util::Rng krng{78};
+    const std::size_t kr = 64, kc = 64, kb = 256;
+    rl::Vec kw(kr * kc), kb_bias(kr), kx(kc), kxb(kb * kc);
+    for (auto& v : kw) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kb_bias) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kx) v = krng.uniform(-1.0, 1.0);
+    for (auto& v : kxb) v = krng.uniform(-1.0, 1.0);
+    const std::vector<float> kwf(kw.begin(), kw.end());
+    const std::vector<float> kbf(kb_bias.begin(), kb_bias.end());
+    const std::vector<float> kxf(kx.begin(), kx.end());
+    const std::vector<float> kxbf(kxb.begin(), kxb.end());
+
+    {
+      F32Sample s;
+      s.name = "gemm_64x64_batch256";
+      rl::Vec yd(kb * kr, 0.0);
+      std::vector<float> yf(kb * kr, 0.0f);
+      const std::size_t reps = 40;
+      s.f64_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::gemm(kw, kr, kc, kxb, kb, kb_bias, yd);
+        }
+      });
+      s.f32_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::gemm(kwf, kr, kc, kxbf, kb, kbf, yf);
+        }
+      });
+      f32_samples.push_back(s);
+    }
+    {
+      F32Sample s;
+      s.name = "gemv_64x64";
+      rl::Vec yd(kr, 0.0);
+      std::vector<float> yf(kr, 0.0f);
+      const std::size_t reps = 20000;
+      s.f64_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::gemv(kw, kr, kc, kx, kb_bias, yd);
+        }
+      });
+      s.f32_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+          rl::kernels::gemv(kwf, kr, kc, kxf, kbf, yf);
+        }
+      });
+      f32_samples.push_back(s);
+    }
+    {
+      F32Sample s;
+      s.name = "dot_4096";
+      rl::Vec a(4096), c(4096);
+      for (auto& v : a) v = krng.uniform(-1.0, 1.0);
+      for (auto& v : c) v = krng.uniform(-1.0, 1.0);
+      const std::vector<float> af(a.begin(), a.end());
+      const std::vector<float> cf(c.begin(), c.end());
+      double rd = 0.0;
+      float rf = 0.0f;
+      const std::size_t reps = 20000;
+      s.f64_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) rd += rl::kernels::dot(a, c);
+      });
+      s.f32_seconds = time_seconds([&] {
+        for (std::size_t i = 0; i < reps; ++i) rf += rl::kernels::dot(af, cf);
+      });
+      benchmark::DoNotOptimize(rd);
+      benchmark::DoNotOptimize(rf);
+      f32_samples.push_back(s);
+    }
+  }
+  double f32_gemm_speedup = 0.0;
+  for (const auto& s : f32_samples) {
+    if (std::string{s.name}.rfind("gemm", 0) == 0 && s.f32_seconds > 0.0) {
+      f32_gemm_speedup = s.f64_seconds / s.f32_seconds;
+    }
+  }
+
+  // --- activation_cache: one shadow-gradient epoch over a 1024-step rollout
+  // (single full-batch minibatch, so every sample's rollout activations are
+  // still version-fresh) with the cache on vs off. An epoch without the
+  // cache is forward + backward per network; with it the forwards vanish, so
+  // the target is a >= 25% epoch wall-clock drop (~33% is the arithmetic
+  // bound when backward ~ 2x forward). Cache-on refills (the rollout-time
+  // forwards) happen outside the timed region — during training they are
+  // paid by the rollout, which needs the heads/values anyway. ---
+  const std::size_t cache_steps = 1024;
+  const std::size_t cache_reps = 5;
+  double cache_on_seconds = 0.0;
+  double cache_off_seconds = 0.0;
+  bool cache_params_identical = true;
+  {
+    util::set_log_level(util::LogLevel::kWarn);
+    const std::size_t cache_obs = 64;
+    rl::PpoConfig cfg;
+    cfg.hidden_sizes = {64, 64};
+    cfg.n_steps = cache_steps;
+    cfg.minibatch_size = cache_steps;
+    cfg.epochs = 1;
+    const rl::ActionSpec spec = rl::ActionSpec::discrete(4);
+    rl::PpoAgent on_agent{cache_obs, spec, cfg, 6};
+    rl::PpoAgent off_agent{cache_obs, spec, cfg, 6};
+    off_agent.set_activation_cache(false);
+
+    // One shared synthetic rollout (observations/actions/targets); each
+    // agent gets its own buffer so the cache-on copy can carry stamped
+    // activation records.
+    util::Rng crng{2025};
+    std::vector<rl::Vec> cache_obs_batch(cache_steps);
+    for (auto& obs : cache_obs_batch) {
+      obs.resize(cache_obs);
+      for (auto& v : obs) v = crng.uniform(-1.0, 1.0);
+    }
+    const auto fill_buffer = [&](rl::PpoAgent& agent, bool with_cache,
+                                 rl::RolloutBuffer& buffer) {
+      buffer.clear();
+      const rl::Mlp& actor = std::as_const(agent).actor();
+      const rl::Mlp& critic = std::as_const(agent).critic();
+      util::Rng fill_rng{7};
+      rl::Mlp::Workspace scratch_a, scratch_c;
+      for (std::size_t i = 0; i < cache_steps; ++i) {
+        rl::Transition t;
+        t.observation = cache_obs_batch[i];
+        rl::Mlp::Workspace& wa = with_cache ? t.cache.actor : scratch_a;
+        rl::Mlp::Workspace& wc = with_cache ? t.cache.critic : scratch_c;
+        const rl::Vec& head = actor.forward(t.observation, wa);
+        t.value = critic.forward(t.observation, wc)[0];
+        if (with_cache) {
+          t.cache.actor_version = actor.param_version();
+          t.cache.critic_version = critic.param_version();
+        }
+        const std::size_t a = rl::Categorical::sample(head, fill_rng);
+        t.action = {static_cast<double>(a)};
+        t.log_prob = rl::Categorical::log_prob(head, a);
+        t.advantage = fill_rng.uniform(-1.0, 1.0);
+        t.return_ = t.value + t.advantage;
+        buffer.add(std::move(t));
+      }
+    };
+
+    rl::RolloutBuffer on_buffer{cache_steps};
+    rl::RolloutBuffer off_buffer{cache_steps};
+    // Warm both paths once (allocations, code paging), untimed.
+    fill_buffer(on_agent, true, on_buffer);
+    on_agent.run_update_epochs(on_buffer);
+    fill_buffer(off_agent, false, off_buffer);
+    off_agent.run_update_epochs(off_buffer);
+    for (std::size_t rep = 0; rep < cache_reps; ++rep) {
+      // Refill each rep: the optimizer step at the end of the previous epoch
+      // bumped the param version, staling the previous stamps.
+      fill_buffer(on_agent, true, on_buffer);
+      cache_on_seconds +=
+          time_seconds([&] { on_agent.run_update_epochs(on_buffer); });
+      fill_buffer(off_agent, false, off_buffer);
+      cache_off_seconds +=
+          time_seconds([&] { off_agent.run_update_epochs(off_buffer); });
+    }
+    // Same seed + same rollout content + bit-identical reuse => the two
+    // agents must have trained to byte-identical parameters.
+    const auto pa = std::as_const(on_agent).actor().params();
+    const auto pb = std::as_const(off_agent).actor().params();
+    cache_params_identical =
+        pa.size() == pb.size() && std::equal(pa.begin(), pa.end(), pb.begin());
+  }
+  const double cache_epoch_drop =
+      cache_off_seconds > 0.0 ? 1.0 - cache_on_seconds / cache_off_seconds
+                              : 0.0;
 
   const auto speedup = [](const std::vector<ThreadSample>& samples) {
     double best = 0.0;
@@ -688,6 +899,8 @@ void write_parallel_artifact() {
                rl::kernels::backend_name());
   std::fprintf(f, "  \"kernel_avx2_available\": %s,\n",
                kernel_simd_available ? "true" : "false");
+  std::fprintf(f, "  \"kernel_avx512_available\": %s,\n",
+               kernel_avx512_available ? "true" : "false");
   std::fprintf(f, "  \"kernel_results_identical\": %s,\n",
                kernel_identical ? "true" : "false");
   std::fprintf(f, "  \"kernels\": [\n");
@@ -695,9 +908,9 @@ void write_parallel_artifact() {
     const auto& s = kernel_samples[i];
     std::fprintf(f,
                  "    {\"name\": \"%s\", \"scalar_seconds\": %.6f, "
-                 "\"avx2_seconds\": %.6f, \"speedup\": %.3f, "
-                 "\"bit_identical\": %s}%s\n",
-                 s.name, s.scalar_seconds, s.simd_seconds,
+                 "\"avx2_seconds\": %.6f, \"avx512_seconds\": %.6f, "
+                 "\"speedup\": %.3f, \"bit_identical\": %s}%s\n",
+                 s.name, s.scalar_seconds, s.simd_seconds, s.avx512_seconds,
                  s.simd_seconds > 0.0 ? s.scalar_seconds / s.simd_seconds : 0.0,
                  s.bit_identical ? "true" : "false",
                  i + 1 < kernel_samples.size() ? "," : "");
@@ -705,6 +918,30 @@ void write_parallel_artifact() {
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"kernel_gemm_speedup_scalar_to_avx2\": %.3f,\n",
                kernel_gemm_speedup);
+  std::fprintf(f, "  \"kernels_f32\": [\n");
+  for (std::size_t i = 0; i < f32_samples.size(); ++i) {
+    const auto& s = f32_samples[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"f64_seconds\": %.6f, "
+                 "\"f32_seconds\": %.6f, \"speedup_f32_vs_f64\": %.3f}%s\n",
+                 s.name, s.f64_seconds, s.f32_seconds,
+                 s.f32_seconds > 0.0 ? s.f64_seconds / s.f32_seconds : 0.0,
+                 i + 1 < f32_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kernel_f32_gemm_speedup_vs_f64\": %.3f,\n",
+               f32_gemm_speedup);
+  std::fprintf(f, "  \"activation_cache\": {\n");
+  std::fprintf(f, "    \"rollout_steps\": %zu,\n", cache_steps);
+  std::fprintf(f, "    \"epochs_timed\": %zu,\n", cache_reps);
+  std::fprintf(f, "    \"epoch_seconds_cache_off\": %.6f,\n",
+               cache_off_seconds / static_cast<double>(cache_reps));
+  std::fprintf(f, "    \"epoch_seconds_cache_on\": %.6f,\n",
+               cache_on_seconds / static_cast<double>(cache_reps));
+  std::fprintf(f, "    \"epoch_wallclock_drop\": %.3f,\n", cache_epoch_drop);
+  std::fprintf(f, "    \"trained_params_identical\": %s\n",
+               cache_params_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"replay_speedup_vs_1_thread\": %.3f,\n",
                speedup(replay_samples));
   std::fprintf(f, "  \"rollout_speedup_vs_1_thread\": %.3f,\n",
@@ -719,15 +956,17 @@ void write_parallel_artifact() {
   std::fclose(f);
   util::log_info("BENCH_parallel: wrote %s (replay %.2fx, rollout %.2fx, "
                  "gradient %.2fx, fig pipeline %.2fx at %zu threads; "
-                 "campaign dispatch %.1f us/job; gemm scalar->%s %.2fx; "
+                 "campaign dispatch %.1f us/job; gemm scalar->%s %.2fx, "
+                 "gemm f64->f32 %.2fx; activation cache epoch drop %.0f%%; "
                  "all results identical: %s)",
                  path.c_str(), speedup(replay_samples),
                  speedup(rollout_samples), speedup(gradient_samples),
                  speedup(pipeline_samples), hw, dispatch_us_per_job,
                  rl::kernels::backend_name(), kernel_gemm_speedup,
+                 f32_gemm_speedup, cache_epoch_drop * 100.0,
                  replay_identical && gradient_identical &&
                          pipeline_identical && sched_identical &&
-                         kernel_identical
+                         kernel_identical && cache_params_identical
                      ? "yes"
                      : "NO");
 }

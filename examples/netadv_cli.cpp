@@ -8,6 +8,7 @@
 //   netadv_cli cc    <sender> <trace.csv>                     replay a CC flow
 //   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
 //   netadv_cli campaign <spec> [--resume] [--dry-run]         run a campaign
+//   netadv_cli info                                           build/CPU report
 //
 // Every <generator>/<protocol>/<sender> name resolves through the core::
 // registries (`list` prints them with domain + description); the usage text
@@ -19,6 +20,7 @@
 // usage error (unknown command/name/flag or wrong arity). Traces use the
 // CSV schema of trace::save_trace.
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +34,8 @@
 #include "exp/campaign.hpp"
 #include "exp/jobs.hpp"
 #include "exp/scheduler.hpp"
+#include "rl/kernels.hpp"
+#include "rl/mlp.hpp"
 #include "trace/generators.hpp"
 #include "trace/mahimahi.hpp"
 #include "trace/trace.hpp"
@@ -55,7 +59,8 @@ int usage() {
       "  netadv_cli attack <%s> <steps> <count> <out_prefix>\n"
       "  netadv_cli cc <%s> <trace.csv>\n"
       "  netadv_cli mm-export <trace.csv> <out.mm>\n"
-      "  netadv_cli campaign <spec> [--resume] [--dry-run]\n",
+      "  netadv_cli campaign <spec> [--resume] [--dry-run]\n"
+      "  netadv_cli info\n",
       generators.c_str(), protocols.c_str(), protocols.c_str(),
       senders.c_str());
   return 2;
@@ -244,6 +249,51 @@ int cmd_campaign(const std::vector<std::string>& args) {
   return report.ok() ? 0 : 1;
 }
 
+int cmd_info(const std::vector<std::string>& args) {
+  if (!args.empty()) return usage();
+  // Reading active_backend() runs the dispatch resolution, so a forced but
+  // unavailable NETADV_SIMD value emits its fallback note (to stderr, via
+  // util::log) before the report prints.
+  namespace kr = rl::kernels;
+  const kr::Backend active = kr::active_backend();
+
+  const char* simd_env = std::getenv("NETADV_SIMD");
+  const char* threads_env = std::getenv("NETADV_THREADS");
+  std::printf("kernel backends (compiled / cpu / usable):\n");
+  const struct {
+    const char* name;
+    bool compiled;
+    bool cpu;
+    kr::Backend backend;
+  } rows[] = {
+      {"scalar", true, true, kr::Backend::kScalar},
+      {"avx2", kr::avx2_compiled(), kr::avx2_runtime_supported(),
+       kr::Backend::kAvx2},
+      {"avx512", kr::avx512_compiled(), kr::avx512_runtime_supported(),
+       kr::Backend::kAvx512},
+      {"neon", kr::neon_compiled(), kr::neon_runtime_supported(),
+       kr::Backend::kNeon},
+  };
+  for (const auto& row : rows) {
+    std::printf("  %-8s %-3s / %-3s / %-3s%s\n", row.name,
+                row.compiled ? "yes" : "no", row.cpu ? "yes" : "no",
+                kr::backend_available(row.backend) ? "yes" : "no",
+                row.backend == active ? "   <- active" : "");
+  }
+  std::printf("NETADV_SIMD      %s -> %s (auto would pick %s)\n",
+              simd_env ? simd_env : "(unset, auto)", kr::backend_name(active),
+              kr::backend_name(kr::best_backend()));
+  std::printf("NETADV_THREADS   %s -> %zu lanes\n",
+              threads_env ? threads_env : "(unset, hardware)",
+              util::ThreadPool::default_thread_count());
+  std::printf("NETADV_F32_ROLLOUT %s -> fp32 rollout default %s\n",
+              std::getenv("NETADV_F32_ROLLOUT")
+                  ? std::getenv("NETADV_F32_ROLLOUT")
+                  : "(unset)",
+              rl::f32_rollout_env_default() ? "on" : "off");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -259,6 +309,7 @@ int main(int argc, char** argv) {
     if (cmd == "cc") return cmd_cc(args);
     if (cmd == "mm-export") return cmd_mm_export(args);
     if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "info") return cmd_info(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

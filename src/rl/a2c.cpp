@@ -47,7 +47,8 @@ A2cAgent::A2cAgent(std::size_t observation_size, ActionSpec action_spec,
                        : 0,
                    {.learning_rate = config_.learning_rate}),
       obs_normalizer_(observation_size),
-      return_normalizer_(config_.gamma) {
+      return_normalizer_(config_.gamma),
+      f32_rollout_(f32_rollout_env_default()) {
   if (observation_size == 0) {
     throw std::invalid_argument{"A2cAgent: observation_size must be > 0"};
   }
@@ -72,9 +73,16 @@ Vec A2cAgent::normalized(const Vec& observation) const {
              : observation;
 }
 
+Vec A2cAgent::actor_head(const Vec& obs) {
+  if (f32_rollout_) {
+    const std::span<const float> out = actor_.forward_f32(obs, actor_f32_ws_);
+    return Vec{out.begin(), out.end()};
+  }
+  return actor_.forward(obs);
+}
+
 Vec A2cAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
-  const Vec obs = normalized(observation);
-  const Vec& head = actor_.forward(obs);
+  const Vec head = actor_head(normalized(observation));
   if (discrete()) {
     return {static_cast<double>(Categorical::sample(head, rng))};
   }
@@ -82,16 +90,19 @@ Vec A2cAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
 }
 
 Vec A2cAgent::act_deterministic(const Vec& observation) {
-  const Vec obs = normalized(observation);
-  const Vec& head = actor_.forward(obs);
+  const Vec head = actor_head(normalized(observation));
   if (discrete()) {
     return {static_cast<double>(Categorical::mode(head))};
   }
-  return {head.begin(), head.end()};
+  return head;
 }
 
 double A2cAgent::value_estimate(const Vec& observation) {
-  return critic_.forward(normalized(observation))[0];
+  const Vec obs = normalized(observation);
+  if (f32_rollout_) {
+    return static_cast<double>(critic_.forward_f32(obs, critic_f32_ws_)[0]);
+  }
+  return critic_.forward(obs)[0];
 }
 
 void A2cAgent::accumulate_sample(const Transition& t, double inv_n,
@@ -100,7 +111,17 @@ void A2cAgent::accumulate_sample(const Transition& t, double inv_n,
                                  std::span<double> log_std_grads,
                                  std::span<double> stats_terms,
                                  GradWorkspace& ws) const {
-  const Vec& head = actor_.forward(t.observation, ws.actor);
+  // Reuse rollout-time activations while the version stamp still matches
+  // (bit-identical — see ActivationCache). A2C updates once per rollout, so
+  // every sample hits when the cache is on.
+  const bool actor_cached =
+      use_activation_cache_ && t.cache.actor_version == actor_.param_version();
+  const bool critic_cached = use_activation_cache_ &&
+                             t.cache.critic_version == critic_.param_version();
+  const Mlp::Workspace& actor_ws = actor_cached ? t.cache.actor : ws.actor;
+  const Mlp::Workspace& critic_ws = critic_cached ? t.cache.critic : ws.critic;
+  const Vec& head = actor_cached ? t.cache.actor.post.back()
+                                 : actor_.forward(t.observation, ws.actor);
 
   // Vanilla policy gradient: dLoss/dlogp = -advantage.
   const double dloss_dlogp = -t.advantage;
@@ -134,12 +155,14 @@ void A2cAgent::accumulate_sample(const Transition& t, double inv_n,
                           inv_n;
     }
   }
-  actor_.backward(head_grad, ws.actor, actor_grads);
+  actor_.backward(head_grad, actor_ws, actor_grads);
 
-  const double v = critic_.forward(t.observation, ws.critic)[0];
+  const double v = critic_cached
+                       ? t.cache.critic.post.back()[0]
+                       : critic_.forward(t.observation, ws.critic)[0];
   const double v_err = v - t.return_;
   stats_terms[1] += 0.5 * v_err * v_err * inv_n;
-  critic_.backward({config_.vf_coef * v_err * inv_n}, ws.critic, critic_grads);
+  critic_.backward({config_.vf_coef * v_err * inv_n}, critic_ws, critic_grads);
 }
 
 A2cAgent::UpdateStats A2cAgent::apply_update(const RolloutBuffer& buffer) {
@@ -244,16 +267,34 @@ TrainReport A2cAgent::train(Env& env, std::size_t total_steps,
 
       Transition t;
       t.observation = obs;
-      const Vec& head = actor_.forward(obs);
-      if (discrete()) {
-        const std::size_t a = Categorical::sample(head, rng_);
-        t.action = {static_cast<double>(a)};
-        t.log_prob = Categorical::log_prob(head, a);
+      // Score the step via the selected precision path; the fp64 path
+      // records activations into the transition's cache (stamped with the
+      // current param version) so apply_update() can reuse them instead of
+      // recomputing the forwards. Forwards consume no RNG, so ordering the
+      // critic before sampling is bit-identical.
+      Vec head_store;
+      const Vec* head;
+      if (f32_rollout_) {
+        head_store = actor_head(obs);
+        head = &head_store;
+        t.value = static_cast<double>(critic_.forward_f32(obs, critic_f32_ws_)[0]);
+      } else if (use_activation_cache_) {
+        head = &actor_.forward(obs, t.cache.actor);
+        t.cache.actor_version = actor_.param_version();
+        t.value = critic_.forward(obs, t.cache.critic)[0];
+        t.cache.critic_version = critic_.param_version();
       } else {
-        t.action = DiagGaussian::sample(head, log_std_, rng_);
-        t.log_prob = DiagGaussian::log_prob(head, log_std_, t.action);
+        head = &actor_.forward(obs);
+        t.value = critic_.forward(obs)[0];
       }
-      t.value = critic_.forward(obs)[0];
+      if (discrete()) {
+        const std::size_t a = Categorical::sample(*head, rng_);
+        t.action = {static_cast<double>(a)};
+        t.log_prob = Categorical::log_prob(*head, a);
+      } else {
+        t.action = DiagGaussian::sample(*head, log_std_, rng_);
+        t.log_prob = DiagGaussian::log_prob(*head, log_std_, t.action);
+      }
 
       StepResult result = env.step(t.action, rng_);
       episode_reward += result.reward;
@@ -275,7 +316,14 @@ TrainReport A2cAgent::train(Env& env, std::size_t total_steps,
       }
     }
 
-    const double last_value = critic_.forward(normalized(raw_obs))[0];
+    // The bootstrap value uses the same precision as the rollout values it
+    // joins in the GAE recursion.
+    const Vec last_norm = normalized(raw_obs);
+    const double last_value =
+        f32_rollout_
+            ? static_cast<double>(critic_.forward_f32(last_norm,
+                                                      critic_f32_ws_)[0])
+            : critic_.forward(last_norm)[0];
     buffer.compute_advantages(last_value, config_.gamma, config_.gae_lambda);
     const UpdateStats stats = apply_update(buffer);
 

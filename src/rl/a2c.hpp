@@ -51,6 +51,26 @@ class A2cAgent final : public Agent {
   void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
   util::ThreadPool* thread_pool() const noexcept { return pool_; }
 
+  /// fp32 inference fast path for act_*/value_estimate and rollout scoring;
+  /// same contract as PpoAgent::set_f32_rollout (gradients and checkpoints
+  /// stay float64, default from NETADV_F32_ROLLOUT, disables the activation
+  /// cache while on).
+  void set_f32_rollout(bool on) noexcept { f32_rollout_ = on; }
+  bool f32_rollout() const noexcept { return f32_rollout_; }
+
+  /// Version-stamped reuse of rollout-time activations in the update's
+  /// gradient pass (see ActivationCache). A2C takes exactly one gradient
+  /// step per rollout, so with the cache on *every* sample of every update
+  /// reuses its rollout forward — bit-identical, never approximate.
+  void set_activation_cache(bool on) noexcept { use_activation_cache_ = on; }
+  bool activation_cache_enabled() const noexcept {
+    return use_activation_cache_;
+  }
+
+  // Read access for tests/inspection (A2C has no checkpoint format yet).
+  const Mlp& actor() const noexcept { return actor_; }
+  const Mlp& critic() const noexcept { return critic_; }
+
   const A2cConfig& config() const noexcept { return config_; }
   const ActionSpec& action_spec() const noexcept override {
     return action_spec_;
@@ -59,6 +79,9 @@ class A2cAgent final : public Agent {
 
  private:
   Vec normalized(const Vec& observation) const;
+  /// Policy head for one (already normalized) observation via the precision
+  /// path selected by set_f32_rollout().
+  Vec actor_head(const Vec& obs);
   bool discrete() const noexcept {
     return action_spec_.type == ActionType::kDiscrete;
   }
@@ -98,6 +121,12 @@ class A2cAgent final : public Agent {
 
   RunningNormalizer obs_normalizer_;
   ReturnNormalizer return_normalizer_;
+
+  // Inference fast-path state (see set_f32_rollout / set_activation_cache).
+  bool f32_rollout_;
+  bool use_activation_cache_ = true;
+  Mlp::F32Workspace actor_f32_ws_;
+  Mlp::F32Workspace critic_f32_ws_;
 
   // Shadow-buffer gradient scratch (see set_thread_pool).
   util::ThreadPool* pool_ = nullptr;

@@ -1,6 +1,6 @@
 // Vectorized math kernels for the MLP core (gemv, gemm, transposed gemv,
 // rank-1 update, dot) behind runtime CPU dispatch, preserving the repo's
-// bit-exactness contract.
+// bit-exactness contract — in two precisions.
 //
 // The canonical accumulation order
 // --------------------------------
@@ -27,13 +27,39 @@
 // parallel shadow-slot path (DESIGN.md §7), and only separate rounding of
 // the product keeps in-place accumulation equal to slot-then-reduce.
 //
-// Both backends are always available by name (`kernels::scalar`,
-// `kernels::avx2`); the unqualified entry points dispatch through the active
-// backend, chosen at first use from (a) whether AVX2 code was compiled in
-// (CMake knob NETADV_SIMD=off|avx2), (b) whether the CPU supports AVX2+FMA,
-// and (c) the NETADV_SIMD environment variable (off | avx2 | auto). When
-// AVX2 is compiled out or unsupported, `kernels::avx2::*` forwards to the
-// scalar implementation, so callers never need to guard.
+// Wider ISAs keep the same order. A 512-bit register does NOT widen the
+// reduction (that would interleave each lane's fma chain into two partial
+// chains and shift the result); instead the AVX-512 backend packs the
+// canonical 4-lane accumulators of TWO OUTPUT ROWS into one zmm — two
+// 4-wide accumulators per register, each half computing exactly the scalar
+// chain. NEON (128-bit) splits the 4 lanes across two q registers: lanes
+// {0,1} in one accumulator, lanes {2,3} in the other, fma'd in the same
+// element order. Both are bit-identical to the scalar reference.
+//
+// The float32 inference path
+// --------------------------
+// The f32 overload set (gemv / gemm / dot on float spans) is the rollout
+// fast path: half the bytes, twice the SIMD width. Its canonical order is
+// kLanesF32 = 8 interleaved fmaf partial sums (the AVX2 float width),
+// combined in the fixed tree
+//
+//   ((l0 + l1) + (l2 + l3)) + ((l4 + l5) + (l6 + l7))
+//
+// with the same widening rules: AVX-512 packs two rows' 8-lane accumulators
+// per zmm, NEON splits the 8 lanes across two 4-wide q registers. std::fmaf
+// is correctly rounded, so scalar and SIMD f32 agree bit for bit. There are
+// deliberately NO f32 gradient kernels (gemv_transposed / rank1_update):
+// training math stays float64 (DESIGN.md §7, precision contract).
+//
+// Backends are always available by name (`kernels::scalar`, `kernels::avx2`,
+// `kernels::avx512`, `kernels::neon`); names whose TU was compiled out (or
+// whose ISA the CPU lacks) forward to the scalar implementation, so callers
+// never need to guard. The unqualified entry points dispatch through the
+// active backend, chosen at first use from (a) which backend TUs were
+// compiled in (CMake knob NETADV_SIMD), (b) what the CPU supports, and
+// (c) the NETADV_SIMD environment variable (off | avx2 | avx512 | neon |
+// auto). Forcing a backend the host cannot run logs a note and falls back
+// to the best supported one instead of crashing.
 //
 // One-time break: adopting this canonical order changed the results of every
 // accumulation-based kernel relative to the pre-SIMD serial order, so golden
@@ -45,25 +71,42 @@
 
 namespace netadv::rl::kernels {
 
-/// Number of interleaved partial sums in the canonical reduction order
-/// (the AVX2 register width in doubles).
+/// Number of interleaved partial sums in the canonical double reduction
+/// order (the AVX2 register width in doubles).
 inline constexpr std::size_t kLanes = 4;
 
-enum class Backend { kScalar, kAvx2 };
+/// Number of interleaved partial sums in the canonical float reduction
+/// order (the AVX2 register width in floats).
+inline constexpr std::size_t kLanesF32 = 8;
 
-/// True if the AVX2 translation unit was compiled in (NETADV_SIMD=avx2).
+enum class Backend { kScalar, kAvx2, kAvx512, kNeon };
+
+/// True if the backend's translation unit was compiled in (CMake NETADV_SIMD).
 bool avx2_compiled() noexcept;
+bool avx512_compiled() noexcept;
+bool neon_compiled() noexcept;
 
-/// True if the running CPU supports AVX2 and FMA.
+/// True if the running CPU supports the backend's ISA.
 bool avx2_runtime_supported() noexcept;
+bool avx512_runtime_supported() noexcept;
+bool neon_runtime_supported() noexcept;
+
+/// True if `backend` is both compiled in and supported by this CPU (kScalar
+/// is always available).
+bool backend_available(Backend backend) noexcept;
+
+/// The widest available backend — what NETADV_SIMD=auto resolves to:
+/// avx512 > avx2 > neon > scalar.
+Backend best_backend() noexcept;
 
 /// The backend the unqualified kernels currently dispatch to.
 Backend active_backend() noexcept;
 
-/// Human-readable name of the active backend ("scalar" or "avx2").
+/// Human-readable backend names ("scalar", "avx2", "avx512", "neon").
 const char* backend_name() noexcept;
+const char* backend_name(Backend backend) noexcept;
 
-/// Force a backend (tests and benches). Requesting kAvx2 when it is not
+/// Force a backend (tests and benches). Requesting a backend that is not
 /// compiled in or not supported by the CPU selects kScalar instead; returns
 /// the backend actually activated. Safe to call between parallel regions;
 /// the active backend is read atomically by the kernels.
@@ -71,18 +114,25 @@ Backend set_backend(Backend backend) noexcept;
 
 // ---------------------------------------------------------------------------
 // Dispatched entry points. Semantics and bit-exact results are identical
-// across backends; only wall-clock differs.
+// across backends; only wall-clock differs. The float overloads form the
+// inference-only f32 fast path (no gradient kernels — see file comment).
 
 /// y = W x + b, W row-major (rows x cols). Per row: bias + canonical dot.
 void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::span<const double> b,
           std::span<double> y);
+void gemv(std::span<const float> w, std::size_t rows, std::size_t cols,
+          std::span<const float> x, std::span<const float> b,
+          std::span<float> y);
 
 /// Batched forward: Y = X W^T + 1 b^T with X (batch x cols) and Y
 /// (batch x rows), each output element computed exactly like gemv's.
 void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
           std::span<const double> x, std::size_t batch,
           std::span<const double> b, std::span<double> y);
+void gemm(std::span<const float> w, std::size_t rows, std::size_t cols,
+          std::span<const float> x, std::size_t batch,
+          std::span<const float> b, std::span<float> y);
 
 /// y = W^T g. Element-wise fma accumulation over rows (no lane reduction).
 void gemv_transposed(std::span<const double> w, std::size_t rows,
@@ -95,40 +145,52 @@ void gemv_transposed(std::span<const double> w, std::size_t rows,
 void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
                   std::span<const double> g, std::span<const double> x);
 
-/// Canonical 4-lane dot product; requires equal sizes.
+/// Canonical 4-lane (double) / 8-lane (float) dot; requires equal sizes.
 double dot(std::span<const double> a, std::span<const double> b);
+float dot(std::span<const float> a, std::span<const float> b);
 
 // ---------------------------------------------------------------------------
-// Named backends, for bit-identity tests and the kernel micro-bench.
+// Named backends, for bit-identity tests and the kernel micro-bench. Every
+// backend exports the same overload set; a backend that is unavailable on
+// this build/host forwards to scalar.
+
+#define NETADV_KERNEL_BACKEND_DECLS                                          \
+  void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,   \
+            std::span<const double> x, std::span<const double> b,            \
+            std::span<double> y);                                            \
+  void gemv(std::span<const float> w, std::size_t rows, std::size_t cols,    \
+            std::span<const float> x, std::span<const float> b,              \
+            std::span<float> y);                                             \
+  void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,   \
+            std::span<const double> x, std::size_t batch,                    \
+            std::span<const double> b, std::span<double> y);                 \
+  void gemm(std::span<const float> w, std::size_t rows, std::size_t cols,    \
+            std::span<const float> x, std::size_t batch,                     \
+            std::span<const float> b, std::span<float> y);                   \
+  void gemv_transposed(std::span<const double> w, std::size_t rows,          \
+                       std::size_t cols, std::span<const double> g,          \
+                       std::span<double> y);                                 \
+  void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols, \
+                    std::span<const double> g, std::span<const double> x);   \
+  double dot(std::span<const double> a, std::span<const double> b);          \
+  float dot(std::span<const float> a, std::span<const float> b);
 
 namespace scalar {
-void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
-          std::span<const double> x, std::span<const double> b,
-          std::span<double> y);
-void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
-          std::span<const double> x, std::size_t batch,
-          std::span<const double> b, std::span<double> y);
-void gemv_transposed(std::span<const double> w, std::size_t rows,
-                     std::size_t cols, std::span<const double> g,
-                     std::span<double> y);
-void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
-                  std::span<const double> g, std::span<const double> x);
-double dot(std::span<const double> a, std::span<const double> b);
+NETADV_KERNEL_BACKEND_DECLS
 }  // namespace scalar
 
 namespace avx2 {
-void gemv(std::span<const double> w, std::size_t rows, std::size_t cols,
-          std::span<const double> x, std::span<const double> b,
-          std::span<double> y);
-void gemm(std::span<const double> w, std::size_t rows, std::size_t cols,
-          std::span<const double> x, std::size_t batch,
-          std::span<const double> b, std::span<double> y);
-void gemv_transposed(std::span<const double> w, std::size_t rows,
-                     std::size_t cols, std::span<const double> g,
-                     std::span<double> y);
-void rank1_update(std::span<double> w, std::size_t rows, std::size_t cols,
-                  std::span<const double> g, std::span<const double> x);
-double dot(std::span<const double> a, std::span<const double> b);
+NETADV_KERNEL_BACKEND_DECLS
 }  // namespace avx2
+
+namespace avx512 {
+NETADV_KERNEL_BACKEND_DECLS
+}  // namespace avx512
+
+namespace neon {
+NETADV_KERNEL_BACKEND_DECLS
+}  // namespace neon
+
+#undef NETADV_KERNEL_BACKEND_DECLS
 
 }  // namespace netadv::rl::kernels

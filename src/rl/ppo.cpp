@@ -71,7 +71,8 @@ PpoAgent::PpoAgent(std::size_t observation_size, ActionSpec action_spec,
                        : 0,
                    {.learning_rate = config_.learning_rate}),
       obs_normalizer_(observation_size),
-      return_normalizer_(config_.gamma) {
+      return_normalizer_(config_.gamma),
+      f32_rollout_(f32_rollout_env_default()) {
   if (observation_size == 0) {
     throw std::invalid_argument{"PpoAgent: observation_size must be > 0"};
   }
@@ -97,9 +98,17 @@ Vec PpoAgent::normalized(const Vec& observation) const {
                                         : observation;
 }
 
-Vec PpoAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
-  const Vec obs = normalized(observation);
+Vec PpoAgent::actor_head(const Vec& obs) {
+  if (f32_rollout_) {
+    const std::span<const float> head = actor_.forward_f32(obs, actor_f32_ws_);
+    return Vec(head.begin(), head.end());
+  }
   const Vec& head = actor_.forward(obs);
+  return head;
+}
+
+Vec PpoAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
+  const Vec head = actor_head(normalized(observation));
   if (discrete()) {
     return {static_cast<double>(Categorical::sample(head, rng))};
   }
@@ -107,12 +116,11 @@ Vec PpoAgent::act_stochastic(const Vec& observation, util::Rng& rng) {
 }
 
 Vec PpoAgent::act_deterministic(const Vec& observation) {
-  const Vec obs = normalized(observation);
-  const Vec& head = actor_.forward(obs);
+  Vec head = actor_head(normalized(observation));
   if (discrete()) {
     return {static_cast<double>(Categorical::mode(head))};
   }
-  return {head.begin(), head.end()};
+  return head;
 }
 
 std::vector<Vec> PpoAgent::act_deterministic_batch(
@@ -121,7 +129,8 @@ std::vector<Vec> PpoAgent::act_deterministic_batch(
   for (std::size_t i = 0; i < observations.size(); ++i) {
     norm[i] = normalized(observations[i]);
   }
-  std::vector<Vec> heads = actor_.forward_batch(norm);
+  std::vector<Vec> heads = f32_rollout_ ? actor_.forward_batch_f32(norm)
+                                        : actor_.forward_batch(norm);
   if (discrete()) {
     std::vector<Vec> actions(heads.size());
     for (std::size_t i = 0; i < heads.size(); ++i) {
@@ -133,7 +142,11 @@ std::vector<Vec> PpoAgent::act_deterministic_batch(
 }
 
 double PpoAgent::value_estimate(const Vec& observation) {
-  return critic_.forward(normalized(observation))[0];
+  const Vec obs = normalized(observation);
+  if (f32_rollout_) {
+    return static_cast<double>(critic_.forward_f32(obs, critic_f32_ws_)[0]);
+  }
+  return critic_.forward(obs)[0];
 }
 
 TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
@@ -162,16 +175,34 @@ TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
 
       Transition t;
       t.observation = obs;
-      const Vec& head = actor_.forward(obs);
-      if (discrete()) {
-        const std::size_t a = Categorical::sample(head, rng_);
-        t.action = {static_cast<double>(a)};
-        t.log_prob = Categorical::log_prob(head, a);
+      // Score the step through the selected precision path. The fp64 path
+      // forwards into the transition's activation cache (bit-identical to
+      // the member forward — same const workspace routine) so the gradient
+      // epochs can reuse these activations; the fp32 path has no fp64
+      // activations to cache, so the stamps stay 0 (never reused).
+      Vec head_store;
+      const Vec* head;
+      if (f32_rollout_) {
+        head_store = actor_head(obs);
+        head = &head_store;
+        t.value = static_cast<double>(critic_.forward_f32(obs, critic_f32_ws_)[0]);
+      } else if (use_activation_cache_) {
+        head = &actor_.forward(obs, t.cache.actor);
+        t.cache.actor_version = actor_.param_version();
+        t.value = critic_.forward(obs, t.cache.critic)[0];
+        t.cache.critic_version = critic_.param_version();
       } else {
-        t.action = DiagGaussian::sample(head, log_std_, rng_);
-        t.log_prob = DiagGaussian::log_prob(head, log_std_, t.action);
+        head = &actor_.forward(obs);
+        t.value = critic_.forward(obs)[0];
       }
-      t.value = critic_.forward(obs)[0];
+      if (discrete()) {
+        const std::size_t a = Categorical::sample(*head, rng_);
+        t.action = {static_cast<double>(a)};
+        t.log_prob = Categorical::log_prob(*head, a);
+      } else {
+        t.action = DiagGaussian::sample(*head, log_std_, rng_);
+        t.log_prob = DiagGaussian::log_prob(*head, log_std_, t.action);
+      }
 
       StepResult result = env.step(t.action, rng_);
       episode_reward += result.reward;
@@ -193,7 +224,14 @@ TrainReport PpoAgent::train(Env& env, std::size_t total_steps,
       }
     }
 
-    const double last_value = critic_.forward(normalized(raw_obs))[0];
+    // The bootstrap value uses the same precision as the rollout values it
+    // joins in the GAE recursion.
+    const Vec last_norm = normalized(raw_obs);
+    const double last_value =
+        f32_rollout_
+            ? static_cast<double>(critic_.forward_f32(last_norm,
+                                                      critic_f32_ws_)[0])
+            : critic_.forward(last_norm)[0];
     buffer.compute_advantages(last_value, config_.gamma, config_.gae_lambda);
 
     const MinibatchStats last_stats = run_update_epochs(buffer);
@@ -258,6 +296,9 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
   std::vector<std::vector<Transition>> trajectories(n_envs);
   std::vector<Vec> norm_obs(n_envs);
   std::vector<Vec> actions(n_envs);
+  std::vector<Mlp::Workspace> actor_caches;
+  std::vector<Mlp::Workspace> critic_caches;
+  const bool fill_caches = !f32_rollout_ && use_activation_cache_;
 
   std::size_t steps_done = 0;
   std::size_t update_index = 0;
@@ -280,8 +321,16 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
         norm_obs[i] = normalized(raw_obs[i]);
       }
 
-      const std::vector<Vec> heads = actor_.forward_batch(norm_obs);
-      const std::vector<Vec> values = critic_.forward_batch(norm_obs);
+      const std::vector<Vec> heads =
+          f32_rollout_
+              ? actor_.forward_batch_f32(norm_obs)
+              : actor_.forward_batch(norm_obs,
+                                     fill_caches ? &actor_caches : nullptr);
+      const std::vector<Vec> values =
+          f32_rollout_
+              ? critic_.forward_batch_f32(norm_obs)
+              : critic_.forward_batch(norm_obs,
+                                      fill_caches ? &critic_caches : nullptr);
 
       for (std::size_t i = 0; i < n_envs; ++i) {
         Transition t;
@@ -295,6 +344,12 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
           t.log_prob = DiagGaussian::log_prob(heads[i], log_std_, t.action);
         }
         t.value = values[i][0];
+        if (fill_caches) {
+          t.cache.actor = std::move(actor_caches[i]);
+          t.cache.actor_version = actor_.param_version();
+          t.cache.critic = std::move(critic_caches[i]);
+          t.cache.critic_version = critic_.param_version();
+        }
         actions[i] = t.action;
         trajectories[i].push_back(std::move(t));
       }
@@ -322,7 +377,10 @@ TrainReport PpoAgent::train(VecEnv& venv, std::size_t total_steps,
     for (std::size_t i = 0; i < n_envs; ++i) {
       norm_obs[i] = normalized(raw_obs[i]);
     }
-    const std::vector<Vec> bootstrap = critic_.forward_batch(norm_obs);
+    // Same precision as the rollout values feeding the GAE recursion.
+    const std::vector<Vec> bootstrap = f32_rollout_
+                                           ? critic_.forward_batch_f32(norm_obs)
+                                           : critic_.forward_batch(norm_obs);
     std::vector<double> last_values(n_envs);
     for (std::size_t i = 0; i < n_envs; ++i) last_values[i] = bootstrap[i][0];
 
@@ -382,7 +440,21 @@ void PpoAgent::accumulate_sample(const Transition& t, double inv_batch,
                                  std::span<double> log_std_grads,
                                  std::span<double> stats_terms,
                                  GradWorkspace& ws) const {
-  const Vec& head = actor_.forward(t.observation, ws.actor);
+  // Reuse the rollout-time activations when their version stamp still
+  // matches the network (bit-identical — see ActivationCache); otherwise
+  // recompute the forward into the task-private workspace. With the default
+  // PPO schedule only the pre-first-optimizer-step minibatches hit, but a
+  // full-batch single-epoch schedule (and every A2C update) reuses the
+  // whole rollout.
+  const bool actor_cached =
+      use_activation_cache_ && t.cache.actor_version == actor_.param_version();
+  const bool critic_cached = use_activation_cache_ &&
+                             t.cache.critic_version == critic_.param_version();
+  const Mlp::Workspace& actor_ws = actor_cached ? t.cache.actor : ws.actor;
+  const Mlp::Workspace& critic_ws = critic_cached ? t.cache.critic : ws.critic;
+  const Vec& head =
+      actor_cached ? t.cache.actor.post.back()
+                   : actor_.forward(t.observation, ws.actor);
 
   double log_prob_new = 0.0;
   if (discrete()) {
@@ -428,12 +500,14 @@ void PpoAgent::accumulate_sample(const Transition& t, double inv_batch,
                           inv_batch;
     }
   }
-  actor_.backward(head_grad, ws.actor, actor_grads);
+  actor_.backward(head_grad, actor_ws, actor_grads);
 
-  const double v = critic_.forward(t.observation, ws.critic)[0];
+  const double v = critic_cached
+                       ? t.cache.critic.post.back()[0]
+                       : critic_.forward(t.observation, ws.critic)[0];
   const double v_err = v - t.return_;
   stats_terms[1] += 0.5 * v_err * v_err * inv_batch;
-  critic_.backward({config_.vf_coef * v_err * inv_batch}, ws.critic,
+  critic_.backward({config_.vf_coef * v_err * inv_batch}, critic_ws,
                    critic_grads);
 }
 

@@ -97,6 +97,41 @@ class PpoAgent final : public Agent {
   void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
   util::ThreadPool* thread_pool() const noexcept { return pool_; }
 
+  struct MinibatchStats {
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+  };
+
+  /// Route inference-style forwards (act_*, value_estimate, and the rollout
+  /// action/value scoring inside train()) through the fp32 fast path
+  /// (Mlp::forward_f32). Gradients, optimizer state, and checkpoints stay
+  /// float64 regardless (DESIGN.md §7 precision contract). fp32 results
+  /// differ from fp64 by rounding, so this is OFF by default (overridable
+  /// process-wide with NETADV_F32_ROLLOUT=1) — enabling it during training
+  /// changes trained parameters relative to golden artifacts, and it also
+  /// disables the rollout activation cache for those rollouts (fp32
+  /// activations cannot seed fp64 gradients).
+  void set_f32_rollout(bool on) noexcept { f32_rollout_ = on; }
+  bool f32_rollout() const noexcept { return f32_rollout_; }
+
+  /// Record each rollout transition's forward activations and reuse them in
+  /// the gradient path while the parameters are unchanged (version-stamped,
+  /// bit-identical reuse — see ActivationCache in rl/rollout.hpp). Default
+  /// ON: it never changes results, only wall-clock and memory. Turn OFF to
+  /// drop the per-transition activation storage on memory-tight rollouts.
+  void set_activation_cache(bool on) noexcept { use_activation_cache_ = on; }
+  bool activation_cache_enabled() const noexcept {
+    return use_activation_cache_;
+  }
+
+  /// The shuffled-minibatch epochs shared by both train() entry points:
+  /// config().epochs passes of shuffled minibatches over `buffer`, one
+  /// optimizer step per minibatch. Public so benches and tests can drive the
+  /// gradient phase against an externally assembled rollout (e.g. to measure
+  /// the activation cache); train() is the normal entry point.
+  MinibatchStats run_update_epochs(const RolloutBuffer& buffer);
+
   const PpoConfig& config() const noexcept { return config_; }
   const ActionSpec& action_spec() const noexcept override { return action_spec_; }
   std::size_t observation_size() const noexcept override { return obs_size_; }
@@ -115,15 +150,13 @@ class PpoAgent final : public Agent {
 
  private:
   Vec normalized(const Vec& observation) const;
+  /// Policy head for one (already normalized) observation via the precision
+  /// path selected by set_f32_rollout().
+  Vec actor_head(const Vec& obs);
   bool discrete() const noexcept {
     return action_spec_.type == ActionType::kDiscrete;
   }
 
-  struct MinibatchStats {
-    double policy_loss = 0.0;
-    double value_loss = 0.0;
-    double entropy = 0.0;
-  };
   /// Activation caches for one concurrent per-sample gradient task.
   struct GradWorkspace {
     Mlp::Workspace actor;
@@ -144,8 +177,6 @@ class PpoAgent final : public Agent {
   MinibatchStats update_minibatch(const RolloutBuffer& buffer,
                                   const std::vector<std::size_t>& indices,
                                   std::size_t begin, std::size_t end);
-  /// The shuffled-minibatch epochs shared by both train() entry points.
-  MinibatchStats run_update_epochs(const RolloutBuffer& buffer);
 
   std::size_t obs_size_;
   ActionSpec action_spec_;
@@ -163,6 +194,12 @@ class PpoAgent final : public Agent {
 
   RunningNormalizer obs_normalizer_;
   ReturnNormalizer return_normalizer_;
+
+  // Inference fast-path state (see set_f32_rollout / set_activation_cache).
+  bool f32_rollout_;
+  bool use_activation_cache_ = true;
+  Mlp::F32Workspace actor_f32_ws_;
+  Mlp::F32Workspace critic_f32_ws_;
 
   // Shadow-buffer minibatch scratch (see set_thread_pool). Not part of the
   // agent's logical state; copied agents just get fresh scratch.

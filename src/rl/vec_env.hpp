@@ -11,6 +11,14 @@
 // Replicas auto-reset: when a step ends an episode, the returned observation
 // is already the first observation of the replica's next episode (the usual
 // gym VecEnv convention), with the done flag marking the boundary.
+//
+// Because batch results arrive in replica-index order, the PPO rollout can
+// forward the whole observation batch at once (Mlp::forward_batch, the gemm
+// kernel) and stamp each replica's activation record into its transition's
+// rollout cache: gemm computes every output element in the same canonical
+// order as per-sample gemv (kernels.hpp), so the cached activations — later
+// reused by the shadow-gradient minibatch — are bit-identical to what N
+// separate forwards would have produced.
 #pragma once
 
 #include <cstddef>

@@ -267,7 +267,8 @@ void expect_identical_agents(const rl::PpoAgent& agent,
       << "log_std differs at " << threads << " threads";
 }
 
-rl::PpoAgent train_ppo_shadow_at(util::ThreadPool* pool, bool continuous) {
+rl::PpoAgent train_ppo_shadow_at(util::ThreadPool* pool, bool continuous,
+                                 bool activation_cache = true) {
   util::set_log_level(util::LogLevel::kWarn);
   rl::PpoConfig cfg;
   cfg.hidden_sizes = {16, 8};
@@ -283,6 +284,7 @@ rl::PpoAgent train_ppo_shadow_at(util::ThreadPool* pool, bool continuous) {
   }
   rl::PpoAgent agent{env->observation_size(), env->action_spec(), cfg, 31};
   agent.set_thread_pool(pool);
+  agent.set_activation_cache(activation_cache);
   agent.train(*env, 384);
   return agent;
 }
@@ -305,6 +307,24 @@ TEST(ParallelGradients, PpoContinuousShadowPathMatchesSequential) {
     util::ThreadPool pool{threads};
     const rl::PpoAgent agent = train_ppo_shadow_at(&pool, true);
     expect_identical_agents(agent, reference, threads);
+  }
+}
+
+TEST(ParallelGradients, ActivationCacheIdenticalAcrossThreadCountsAndToggle) {
+  // The rollout activation cache must be orthogonal to the shadow-gradient
+  // thread count: cached workspaces are read-only during the concurrent
+  // per-sample gradient phase, and reuse is bit-identical, so all four
+  // combinations of {cache on/off} x {sequential/pooled} train the same
+  // parameters.
+  const rl::PpoAgent reference = train_ppo_shadow_at(
+      nullptr, /*continuous=*/false, /*activation_cache=*/true);
+  for (std::size_t threads : kThreadCounts) {
+    for (bool cache : {true, false}) {
+      util::ThreadPool pool{threads};
+      const rl::PpoAgent agent =
+          train_ppo_shadow_at(&pool, /*continuous=*/false, cache);
+      expect_identical_agents(agent, reference, threads);
+    }
   }
 }
 

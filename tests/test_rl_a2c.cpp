@@ -84,6 +84,49 @@ TEST(A2cTraining, ValidatesConstruction) {
   EXPECT_THROW(wrong.train(env, 100), std::invalid_argument);
 }
 
+TEST(A2cActivationCache, TrainedParametersBitIdenticalCacheOnOrOff) {
+  // A2C takes one gradient step per rollout, so with the cache on every
+  // sample's forward is reused from rollout time. Reuse is version-stamped
+  // and bit-identical, so the toggle cannot change trained parameters.
+  ContextualBanditEnv env_a{2, 3, 16};
+  ContextualBanditEnv env_b{2, 3, 16};
+  A2cAgent with_cache{env_a.observation_size(), env_a.action_spec(),
+                      small_config(), 37};
+  A2cAgent without_cache{env_b.observation_size(), env_b.action_spec(),
+                         small_config(), 37};
+  ASSERT_TRUE(with_cache.activation_cache_enabled());
+  without_cache.set_activation_cache(false);
+  with_cache.train(env_a, 640);
+  without_cache.train(env_b, 640);
+
+  const auto pa = with_cache.actor().params();
+  const auto pb = without_cache.actor().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "actor param " << i;
+  }
+  const auto ca = with_cache.critic().params();
+  const auto cb = without_cache.critic().params();
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(ca[i], cb[i]) << "critic param " << i;
+  }
+}
+
+TEST(A2cF32Rollout, TrainsAndActsUnderF32Inference) {
+  ContextualBanditEnv env{2, 3, 16};
+  A2cAgent agent{env.observation_size(), env.action_spec(), small_config(), 11};
+  agent.set_f32_rollout(true);
+  ASSERT_TRUE(agent.f32_rollout());
+  agent.train(env, 15000);
+  for (std::size_t ctx = 0; ctx < 2; ++ctx) {
+    Vec obs(2, 0.0);
+    obs[ctx] = 1.0;
+    const Vec action = agent.act_deterministic(obs);
+    EXPECT_EQ(static_cast<std::size_t>(action[0]), env.correct_arm(ctx))
+        << "context " << ctx;
+  }
+}
+
 TEST(AgentInterface, PolymorphicUseAcrossAlgorithms) {
   ContextualBanditEnv env{2, 3, 16};
   PpoConfig ppo_cfg;

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "rl/checkpoint.hpp"
 #include "rl/ppo.hpp"
@@ -186,6 +188,29 @@ TEST(Checkpoint, SaveLoadSaveIsByteIdenticalContinuous) {
   expect_checkpoint_byte_identity(agent, restored, "continuous");
 }
 
+TEST(Checkpoint, SaveLoadSaveIsByteIdenticalWithF32Rollout) {
+  // The precision contract (DESIGN.md §7): the fp32 path is inference-only,
+  // so checkpoints written while it is enabled are the same float64 v2 files
+  // — nothing in the on-disk state may narrow to float.
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 29};
+  agent.set_f32_rollout(true);
+  agent.train(env, 1024);
+  PpoAgent restored{env.observation_size(), env.action_spec(), small_config(),
+                    999};
+  restored.set_f32_rollout(true);
+  expect_checkpoint_byte_identity(agent, restored, "f32_rollout");
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "netadv_ckpt_f32.txt").string();
+  save_checkpoint(agent, path);
+  std::ifstream in{path};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "netadv-ppo-checkpoint v2");
+  std::remove(path.c_str());
+}
+
 TEST(Checkpoint, SaveLoadSaveIsByteIdenticalUntrained) {
   // count_ < 2 is the regression case: restoring used to plant a spurious
   // second moment that changed the bytes (and later the variance).
@@ -244,6 +269,131 @@ TEST(Checkpoint, MissingFileThrows) {
   PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 37};
   EXPECT_THROW(load_checkpoint(agent, "/nonexistent/ckpt.txt"),
                std::runtime_error);
+}
+
+// --- fp32 inference fast path ---------------------------------------------
+
+TEST(F32Inference, ForwardMatchesFp64WithinRounding) {
+  Rng rng{5};
+  Mlp net{{4, 16, 3}, Activation::kTanh, 1.0, rng};
+  Mlp::F32Workspace ws;
+  const Vec x{0.3, -0.7, 1.1, 0.05};
+  const Vec& ref = net.forward(x);
+  const std::span<const float> fast = net.forward_f32(x, ws);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (std::size_t j = 0; j < ref.size(); ++j) {
+    EXPECT_NEAR(static_cast<double>(fast[j]), ref[j], 1e-5) << "output " << j;
+  }
+}
+
+TEST(F32Inference, MirrorResyncsAfterParameterMutation) {
+  Rng rng{6};
+  Mlp net{{3, 8, 2}, Activation::kTanh, 1.0, rng};
+  Mlp::F32Workspace ws;
+  const Vec x{0.25, -0.5, 0.75};
+
+  const std::span<const float> out1 = net.forward_f32(x, ws);
+  const std::vector<float> before{out1.begin(), out1.end()};
+  EXPECT_TRUE(net.f32_mirror_fresh());
+
+  // Any mutable params() access (what optimizer steps and checkpoint loads
+  // go through) must stale the mirror; the next forward_f32 must re-sync and
+  // see the new values.
+  auto params = net.params();
+  EXPECT_FALSE(net.f32_mirror_fresh());
+  for (auto& p : params) p += 0.25;
+
+  const std::span<const float> out2 = net.forward_f32(x, ws);
+  EXPECT_TRUE(net.f32_mirror_fresh());
+  bool changed = false;
+  for (std::size_t j = 0; j < before.size(); ++j) {
+    if (before[j] != out2[j]) changed = true;
+  }
+  EXPECT_TRUE(changed) << "stale fp32 mirror survived a parameter mutation";
+}
+
+TEST(F32Inference, MirrorIsResyncedAfterEveryOptimizerStep) {
+  // Train with the fp32 rollout enabled: each optimizer step bumps the param
+  // version, and the very next rollout forward must re-sync. After training
+  // the final update leaves the mirror stale (the last thing train() does is
+  // step the optimizer); any inference call freshens it again.
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 43};
+  agent.set_f32_rollout(true);
+  ASSERT_TRUE(agent.f32_rollout());
+  agent.train(env, 512);
+  EXPECT_FALSE(agent.actor().f32_mirror_fresh());
+  EXPECT_FALSE(agent.critic().f32_mirror_fresh());
+
+  Vec obs(2, 0.0);
+  obs[0] = 1.0;
+  agent.act_deterministic(obs);
+  agent.value_estimate(obs);
+  EXPECT_TRUE(agent.actor().f32_mirror_fresh());
+  EXPECT_TRUE(agent.critic().f32_mirror_fresh());
+}
+
+TEST(F32Inference, PpoTrainsUnderF32Rollout) {
+  // Smoke gate: fp32 rollout scoring must still learn the bandit (gradients
+  // are fp64, only action/value scoring is narrowed).
+  ContextualBanditEnv env{2, 3, 16};
+  PpoAgent agent{env.observation_size(), env.action_spec(), small_config(), 11};
+  agent.set_f32_rollout(true);
+  agent.train(env, 15000);
+  for (std::size_t ctx = 0; ctx < 2; ++ctx) {
+    Vec obs(2, 0.0);
+    obs[ctx] = 1.0;
+    const Vec action = agent.act_deterministic(obs);
+    EXPECT_EQ(static_cast<std::size_t>(action[0]), env.correct_arm(ctx))
+        << "context " << ctx;
+  }
+}
+
+// --- rollout activation cache ---------------------------------------------
+
+void expect_same_params(const PpoAgent& a, const PpoAgent& b) {
+  const auto pa = a.actor().params();
+  const auto pb = b.actor().params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i], pb[i]) << "actor param " << i;
+  }
+  const auto ca = a.critic().params();
+  const auto cb = b.critic().params();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    ASSERT_EQ(ca[i], cb[i]) << "critic param " << i;
+  }
+}
+
+TEST(ActivationCache, TrainedParametersBitIdenticalCacheOnOrOff) {
+  // The cache must be a pure wall-clock optimization: version-stamped reuse
+  // of rollout activations yields the exact forwards the gradient pass would
+  // recompute, so trained parameters cannot depend on the toggle.
+  ContextualBanditEnv env_a{2, 3, 16};
+  ContextualBanditEnv env_b{2, 3, 16};
+  PpoAgent with_cache{env_a.observation_size(), env_a.action_spec(),
+                      small_config(), 53};
+  PpoAgent without_cache{env_b.observation_size(), env_b.action_spec(),
+                         small_config(), 53};
+  ASSERT_TRUE(with_cache.activation_cache_enabled());
+  without_cache.set_activation_cache(false);
+  with_cache.train(env_a, 1024);
+  without_cache.train(env_b, 1024);
+  expect_same_params(with_cache, without_cache);
+}
+
+TEST(ActivationCache, ContinuousActionTrainingBitIdenticalCacheOnOrOff) {
+  TargetChaseEnv env_a{16};
+  TargetChaseEnv env_b{16};
+  PpoAgent with_cache{env_a.observation_size(), env_a.action_spec(),
+                      small_config(), 59};
+  PpoAgent without_cache{env_b.observation_size(), env_b.action_spec(),
+                         small_config(), 59};
+  without_cache.set_activation_cache(false);
+  with_cache.train(env_a, 1024);
+  without_cache.train(env_b, 1024);
+  expect_same_params(with_cache, without_cache);
 }
 
 TEST(ActionSpec, PhysicalMappingClipsAndScales) {
