@@ -26,6 +26,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,7 @@
 #include "exp/campaign.hpp"
 #include "exp/jobs.hpp"
 #include "exp/scheduler.hpp"
+#include "exp/spool.hpp"
 #include "rl/distributions.hpp"
 #include "rl/kernels.hpp"
 #include "rl/ppo.hpp"
@@ -543,6 +545,76 @@ void write_parallel_artifact() {
       sched_identical = false;
     }
   }
+  // --- workers: the same miniature campaign executed by a spool-worker
+  // fleet (exp::run_worker) at 1/2/4 workers sharing one out_dir. Each
+  // worker here is an in-process thread running the full worker protocol
+  // (manifest derivation, claim files, heartbeats), so the sample measures
+  // claim/poll overhead and fan-out, not process startup. Artifact bytes
+  // must be identical at every worker count — the distributed analogue of
+  // the thread-count identity above. ---
+  const std::vector<std::size_t> worker_counts{1, 2, 4};
+  struct WorkerSample {
+    std::size_t workers = 1;
+    double seconds = 0.0;
+  };
+  std::vector<WorkerSample> worker_samples;
+  std::string worker_reference;
+  bool worker_identical = true;
+  for (std::size_t workers : worker_counts) {
+    const auto out_dir = sched_root / ("workers_" + std::to_string(workers));
+    const std::string worker_spec =
+        "[campaign]\nname = micro-sched\nseed = 5\n"
+        "out_dir = " + out_dir.string() + "\n" + sched_spec_body;
+    const exp::Campaign worker_campaign = exp::parse_campaign(
+        util::parse_spec_text(worker_spec, "bench-micro-workers"));
+    std::vector<exp::WorkerReport> reports(workers);
+    WorkerSample sample;
+    sample.workers = workers;
+    sample.seconds = time_seconds([&] {
+      std::vector<std::thread> fleet;
+      for (std::size_t w = 0; w < workers; ++w) {
+        fleet.emplace_back([&, w] {
+          exp::SpoolOptions opts;
+          opts.worker = "bench-w" + std::to_string(w);
+          opts.poll_ms = 5;
+          reports[w] = exp::run_worker(worker_campaign, builtin_registry,
+                                       opts);
+        });
+      }
+      for (auto& t : fleet) t.join();
+    });
+    worker_samples.push_back(sample);
+    bool complete = true;
+    for (const auto& report : reports) {
+      if (!report.ok()) complete = false;
+    }
+    // Signature: artifact bytes keyed by filename (relative — out_dirs
+    // differ per worker count), in sorted order.
+    std::vector<std::filesystem::path> files;
+    std::error_code worker_ls_ec;
+    for (const auto& it :
+         std::filesystem::directory_iterator(out_dir, worker_ls_ec)) {
+      if (!it.is_regular_file()) continue;
+      if (it.path().filename() == exp::kManifestFilename) continue;
+      files.push_back(it.path());
+    }
+    std::sort(files.begin(), files.end());
+    std::string signature;
+    for (const auto& file : files) {
+      std::ifstream in{file, std::ios::binary};
+      std::ostringstream bytes;
+      bytes << in.rdbuf();
+      signature += file.filename().string() + "\n" + bytes.str();
+    }
+    if (!complete) {
+      worker_identical = false;
+    } else if (worker_reference.empty()) {
+      worker_reference = signature;
+    } else if (signature != worker_reference) {
+      worker_identical = false;
+    }
+  }
+
   std::error_code sched_cleanup_ec;
   std::filesystem::remove_all(sched_root, sched_cleanup_ec);
   const double dispatch_us_per_job =
@@ -950,8 +1022,25 @@ void write_parallel_artifact() {
                speedup(gradient_samples));
   std::fprintf(f, "  \"fig_pipeline_speedup_vs_1_thread\": %.3f,\n",
                speedup(pipeline_samples));
-  std::fprintf(f, "  \"scheduler_campaign_speedup_vs_1_thread\": %.3f\n",
+  std::fprintf(f, "  \"scheduler_campaign_speedup_vs_1_thread\": %.3f,\n",
                speedup(sched_samples));
+  std::fprintf(f, "  \"workers\": {\n");
+  std::fprintf(f, "    \"samples\": [\n");
+  for (std::size_t i = 0; i < worker_samples.size(); ++i) {
+    const auto& s = worker_samples[i];
+    std::fprintf(f, "      {\"workers\": %zu, \"seconds\": %.6f}%s\n",
+                 s.workers, s.seconds,
+                 i + 1 < worker_samples.size() ? "," : "");
+  }
+  std::fprintf(f, "    ],\n");
+  std::fprintf(f, "    \"speedup_vs_1_worker\": %.3f,\n",
+               worker_samples.back().seconds > 0.0
+                   ? worker_samples.front().seconds /
+                         worker_samples.back().seconds
+                   : 0.0);
+  std::fprintf(f, "    \"artifacts_identical\": %s\n",
+               worker_identical ? "true" : "false");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   util::log_info("BENCH_parallel: wrote %s (replay %.2fx, rollout %.2fx, "
@@ -966,7 +1055,8 @@ void write_parallel_artifact() {
                  f32_gemm_speedup, cache_epoch_drop * 100.0,
                  replay_identical && gradient_identical &&
                          pipeline_identical && sched_identical &&
-                         kernel_identical && cache_params_identical
+                         worker_identical && kernel_identical &&
+                         cache_params_identical
                      ? "yes"
                      : "NO");
 }

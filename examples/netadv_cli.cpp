@@ -8,6 +8,8 @@
 //   netadv_cli cc    <sender> <trace.csv>                     replay a CC flow
 //   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
 //   netadv_cli campaign <spec> [--resume] [--dry-run]         run a campaign
+//   netadv_cli campaign <spec> --worker                       join as a worker
+//   netadv_cli campaign <spec> --spawn-workers N              fork N workers
 //   netadv_cli info                                           build/CPU report
 //
 // Every <generator>/<protocol>/<sender> name resolves through the core::
@@ -19,9 +21,21 @@
 // campaign with failed/blocked jobs — the manifest records which), 2 on a
 // usage error (unknown command/name/flag or wrong arity). Traces use the
 // CSV schema of trace::save_trace.
+//
+// Worker exit-code contract (--worker / --spawn-workers): a worker exits
+// only once the *whole campaign* is settled — 0 when every job completed
+// (regardless of which worker ran it), 1 when any job settled failed or
+// blocked, 2 on a usage error. So in a fleet, every worker agrees on the
+// campaign verdict, and `--spawn-workers N` simply forwards the consensus.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +48,7 @@
 #include "exp/campaign.hpp"
 #include "exp/jobs.hpp"
 #include "exp/scheduler.hpp"
+#include "exp/spool.hpp"
 #include "rl/kernels.hpp"
 #include "rl/mlp.hpp"
 #include "trace/generators.hpp"
@@ -59,7 +74,8 @@ int usage() {
       "  netadv_cli attack <%s> <steps> <count> <out_prefix>\n"
       "  netadv_cli cc <%s> <trace.csv>\n"
       "  netadv_cli mm-export <trace.csv> <out.mm>\n"
-      "  netadv_cli campaign <spec> [--resume] [--dry-run]\n"
+      "  netadv_cli campaign <spec> [--resume] [--dry-run] [--worker]\n"
+      "      [--spawn-workers N] [--lease <seconds>] [--poll-ms <ms>]\n"
       "  netadv_cli info\n",
       generators.c_str(), protocols.c_str(), protocols.c_str(),
       senders.c_str());
@@ -211,15 +227,89 @@ int cmd_mm_export(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_campaign(const std::vector<std::string>& args) {
+/// Fork `count` children, each exec'ing this binary back as
+/// `campaign <spec> --worker` — a one-machine fleet. The parent waits for
+/// all of them and forwards their consensus verdict.
+int spawn_workers(const std::string& exe, const std::string& spec_path,
+                  long count, double lease_s, int poll_ms) {
+  // /proc/self/exe survives argv[0] being a bare name from PATH lookup.
+  std::string self = "/proc/self/exe";
+  if (::access(self.c_str(), X_OK) != 0) self = exe;
+  char lease[32];
+  char poll[32];
+  std::snprintf(lease, sizeof lease, "%g", lease_s);
+  std::snprintf(poll, sizeof poll, "%d", poll_ms);
+
+  std::vector<pid_t> pids;
+  for (long i = 0; i < count; ++i) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::fprintf(stderr, "campaign: fork failed: %s\n",
+                   std::strerror(errno));
+      break;  // wait for whatever we managed to start
+    }
+    if (pid == 0) {
+      ::execl(self.c_str(), self.c_str(), "campaign", spec_path.c_str(),
+              "--worker", "--lease", lease, "--poll-ms", poll,
+              static_cast<char*>(nullptr));
+      std::fprintf(stderr, "campaign: exec %s failed: %s\n", self.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    pids.push_back(pid);
+  }
+
+  int rc = pids.size() == static_cast<std::size_t>(count) ? 0 : 1;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) ||
+        WEXITSTATUS(status) != 0) {
+      rc = 1;
+    }
+  }
+  std::printf("campaign: %zu worker(s) finished, verdict %s\n", pids.size(),
+              rc == 0 ? "ok" : "failed");
+  return rc;
+}
+
+int cmd_campaign(const std::string& exe,
+                 const std::vector<std::string>& args) {
   std::string spec_path;
   bool resume = false;
   bool dry_run = false;
-  for (const auto& arg : args) {
+  bool worker = false;
+  long spawn = 0;
+  double lease_s = 30.0;
+  int poll_ms = 200;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     if (arg == "--resume") {
       resume = true;
     } else if (arg == "--dry-run") {
       dry_run = true;
+    } else if (arg == "--worker") {
+      worker = true;
+    } else if (arg == "--spawn-workers" || arg == "--lease" ||
+               arg == "--poll-ms") {
+      if (i + 1 >= args.size()) {
+        std::fprintf(stderr, "campaign: %s needs a value\n", arg.c_str());
+        return usage();
+      }
+      try {
+        if (arg == "--spawn-workers") {
+          spawn = std::stol(args[++i]);
+          if (spawn < 1) throw std::invalid_argument{"count"};
+        } else if (arg == "--lease") {
+          lease_s = std::stod(args[++i]);
+          if (lease_s <= 0.0) throw std::invalid_argument{"lease"};
+        } else {
+          poll_ms = std::stoi(args[++i]);
+          if (poll_ms < 1) throw std::invalid_argument{"poll"};
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "campaign: bad value for %s\n", arg.c_str());
+        return usage();
+      }
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "campaign: unknown flag '%s'\n", arg.c_str());
       return usage();
@@ -230,11 +320,43 @@ int cmd_campaign(const std::vector<std::string>& args) {
     }
   }
   if (spec_path.empty()) return usage();
+  if (worker && spawn > 0) {
+    std::fprintf(stderr,
+                 "campaign: --worker and --spawn-workers are exclusive\n");
+    return usage();
+  }
+  if (dry_run && (worker || spawn > 0)) {
+    std::fprintf(stderr, "campaign: --dry-run is single-process\n");
+    return usage();
+  }
 
   const exp::Campaign campaign = exp::load_campaign(spec_path);
   if (dry_run) {
     std::fputs(exp::format_plan(campaign, resume).c_str(), stdout);
     return 0;
+  }
+  if (spawn > 0) {
+    return spawn_workers(exe, spec_path, spawn, lease_s, poll_ms);
+  }
+  if (worker) {
+    // Worker mode is inherently resume-like (it appends to the shared
+    // manifest and reuses settled entries), so --resume is implied.
+    exp::SpoolOptions options;
+    options.lease_s = lease_s;
+    options.poll_ms = poll_ms;
+    options.pool = &util::ThreadPool::global();
+    const exp::WorkerReport report =
+        exp::run_worker(campaign, exp::builtin_jobs(), options);
+    std::printf(
+        "worker %s: campaign %s settled — %zu ok, %zu failed, %zu blocked\n"
+        "  this worker: %zu executed, %zu failed, %zu blocked lines, "
+        "%zu stale claims broken\n"
+        "manifest: %s\n",
+        report.worker.c_str(), campaign.name.c_str(), report.settled_ok,
+        report.settled_failed, report.settled_blocked, report.executed,
+        report.failed, report.blocked, report.reclaimed,
+        report.manifest.c_str());
+    return report.ok() ? 0 : 1;
   }
   exp::SchedulerOptions options;
   options.resume = resume;
@@ -308,7 +430,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "cc") return cmd_cc(args);
     if (cmd == "mm-export") return cmd_mm_export(args);
-    if (cmd == "campaign") return cmd_campaign(args);
+    if (cmd == "campaign") return cmd_campaign(argv[0], args);
     if (cmd == "info") return cmd_info(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

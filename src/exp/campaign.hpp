@@ -82,13 +82,23 @@ Campaign load_campaign(const std::string& path);
 /// The per-job seeds, resolved deterministically on the caller before any
 /// dispatch: stream i of Rng{campaign.seed}.fork_streams(jobs.size()) seeds
 /// job i (declaration order), unless the job pinned `seed =` explicitly.
-/// Same campaign -> same seeds at every thread count.
+/// Same campaign -> same seeds at every thread count — and at every worker
+/// count: a spool worker in another process re-derives the identical seed
+/// vector from the spec alone, so no seed state needs to be shared or
+/// persisted. Combined with executors that consume no wall-clock time and
+/// no ambient entropy (jobs.hpp), this is why re-executing any job — after
+/// a crash, a stolen lease, or on a different machine — rewrites the same
+/// bytes.
 std::vector<std::uint64_t> resolve_job_seeds(const Campaign& campaign);
 
 /// Canonical fingerprint of a job's identity: kind, ordered params, resolved
 /// seed, and the campaign name — the manifest's params_hash. Artifact hashes
 /// of dependencies are tracked separately (inputs_hash) so an upstream
-/// change invalidates downstream cache entries.
+/// change invalidates downstream cache entries. Deliberately date-free:
+/// because the hash covers everything an executor may read, two processes
+/// that compute the same (params_hash, inputs_hash) pair are guaranteed the
+/// same artifact bytes, so a manifest entry with matching hashes is safe to
+/// reuse as a cache hit across --resume runs and across spool workers.
 std::uint64_t job_params_hash(const Campaign& campaign, const JobSpec& job,
                               std::uint64_t resolved_seed);
 

@@ -41,9 +41,20 @@
 //
 // Step budgets and corpus sizes honor NETADV_SCALE exactly like the bench
 // binaries (util::scaled_steps), so `NETADV_SCALE=0.01` smoke-runs a whole
-// campaign. Every executor is a pure function of (params, resolved seed,
-// input artifacts): campaign artifacts are bit-identical at any thread
-// count, and the manifest's provenance hashes stay meaningful.
+// campaign.
+//
+// The idempotence contract (what every executor here upholds, and what any
+// registered kind must uphold): an executor is a pure function of
+// (params, resolved seed, input artifacts). No wall-clock timestamps, no
+// ambient randomness, no hidden global state — seeds come pre-forked from
+// the campaign declaration (resolve_job_seeds), and every random draw
+// flows from them. Because of that, *re-executing a job is always safe*:
+// it rewrites the same artifact bytes. That one property is what the
+// whole provenance stack leans on — campaign artifacts are bit-identical
+// at any thread count and at any spool worker count, --resume can trust
+// params_hash + inputs_hash instead of timestamps, and a spool worker
+// whose claim was spuriously stolen (spool.hpp) can harmlessly race a
+// peer re-running the same job.
 #pragma once
 
 #include "exp/scheduler.hpp"

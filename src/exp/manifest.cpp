@@ -1,5 +1,9 @@
 #include "exp/manifest.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -66,13 +70,26 @@ std::vector<ManifestEntry> read_manifest(const std::string& path) {
   return entries;
 }
 
-ManifestWriter::ManifestWriter(const std::string& path) : path_(path) {
-  file_ = std::fopen(path.c_str(), "w");
+ManifestWriter::ManifestWriter(const std::string& path, Mode mode)
+    : path_(path), append_(mode == Mode::kAppend) {
+  file_ = std::fopen(path.c_str(), append_ ? "a" : "w");
   if (file_ == nullptr) {
     throw std::runtime_error{"ManifestWriter: cannot open " + path};
   }
-  std::fprintf(file_, "%s\n", kHeader);
-  std::fflush(file_);
+  // In append mode only a writer that finds the file fresh (or empty)
+  // emits the header. Two workers racing past an empty file could both
+  // emit it; a stray header row fails read_manifest's numeric-cell parse
+  // and is skipped, so duplication is noise, not corruption.
+  bool write_header = true;
+  if (append_) {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    write_header = ec || size == 0;
+  }
+  if (write_header) {
+    std::fprintf(file_, "%s\n", kHeader);
+    std::fflush(file_);
+  }
 }
 
 ManifestWriter::~ManifestWriter() {
@@ -85,13 +102,33 @@ void ManifestWriter::append(const ManifestEntry& entry) {
     if (i > 0) artifacts += ';';
     artifacts += entry.artifacts[i];
   }
+  // Render the whole line first, then emit it as one write(2) on the
+  // underlying O_APPEND descriptor: the kernel serializes the offset per
+  // write, which is what lets multiple *processes* share one manifest
+  // without interleaving partial lines (kAppend mode; kTruncate gets the
+  // same single-write behaviour for free).
+  char numeric[128];
+  std::snprintf(numeric, sizeof numeric, "%.3f,%zu,%g", entry.seconds,
+                entry.threads, entry.scale);
+  // kAppend lines carry a *leading* newline as well: if a killed worker
+  // left a torn tail, the next append terminates the fragment instead of
+  // merging with it, so only the torn entry is lost — never the new one.
+  // The resulting blank separator lines fail the 10-cell check on read.
+  const std::string line = (append_ ? "\n" : "") + entry.campaign + "," +
+                           entry.job + "," + entry.kind + "," + entry.status +
+                           "," + entry.params_hash + "," + entry.inputs_hash +
+                           "," + numeric + "," + artifacts + "\n";
   const std::lock_guard<std::mutex> lock{mutex_};
-  std::fprintf(file_, "%s,%s,%s,%s,%s,%s,%.3f,%zu,%g,%s\n",
-               entry.campaign.c_str(), entry.job.c_str(), entry.kind.c_str(),
-               entry.status.c_str(), entry.params_hash.c_str(),
-               entry.inputs_hash.c_str(), entry.seconds, entry.threads,
-               entry.scale, artifacts.c_str());
-  std::fflush(file_);
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fileno(file_), line.data() + off,
+                              line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // manifest writes are best-effort once the job has settled
+    }
+    off += static_cast<std::size_t>(n);
+  }
 }
 
 std::uint64_t hash_input_artifacts(const std::vector<std::string>& paths) {

@@ -45,13 +45,23 @@ std::string manifest_path(const std::string& out_dir);
 /// a torn final line (the writer died mid-append) is skipped, not fatal.
 std::vector<ManifestEntry> read_manifest(const std::string& path);
 
-/// Thread-safe appending writer. Creates/truncates the file and writes the
-/// header on construction; every append is serialized and flushed so
-/// concurrent jobs interleave whole lines only and a kill loses at most the
-/// line in flight.
+/// Thread-safe appending writer. In the default kTruncate mode it
+/// creates/truncates the file and writes the header on construction; every
+/// append is serialized and flushed so concurrent jobs interleave whole
+/// lines only and a kill loses at most the line in flight.
+///
+/// kAppend mode is the multi-process variant used by spool workers
+/// (spool.hpp): the file is opened O_APPEND (header written only if the
+/// file is new or empty), and each entry is rendered into one buffer and
+/// written with a single write(2), so any number of writer *processes*
+/// interleave whole lines only — the same torn-line tolerance read_manifest
+/// already provides covers the one line a kill -9 can still tear.
 class ManifestWriter {
  public:
-  explicit ManifestWriter(const std::string& path);
+  enum class Mode { kTruncate, kAppend };
+
+  explicit ManifestWriter(const std::string& path,
+                          Mode mode = Mode::kTruncate);
   ~ManifestWriter();
 
   ManifestWriter(const ManifestWriter&) = delete;
@@ -64,6 +74,7 @@ class ManifestWriter {
  private:
   std::string path_;
   std::FILE* file_ = nullptr;
+  bool append_ = false;
   std::mutex mutex_;
 };
 

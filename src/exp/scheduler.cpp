@@ -101,12 +101,8 @@ const JobOutcome& CampaignReport::outcome_of(const std::string& id) const {
   throw std::runtime_error{"campaign report has no job '" + id + "'"};
 }
 
-CampaignReport run_campaign(const Campaign& campaign,
-                            const JobRegistry& registry,
-                            const SchedulerOptions& options) {
-  const std::vector<std::vector<std::size_t>> waves =
-      topological_waves(campaign);
-  const std::vector<std::uint64_t> seeds = resolve_job_seeds(campaign);
+void validate_job_kinds(const Campaign& campaign,
+                        const JobRegistry& registry) {
   for (const auto& job : campaign.jobs) {
     if (registry.find(job.kind) == nullptr) {
       throw std::runtime_error{"campaign '" + campaign.name +
@@ -115,6 +111,154 @@ CampaignReport run_campaign(const Campaign& campaign,
                                registry.names() + ")"};
     }
   }
+}
+
+std::string job_params_hex(const Campaign& campaign, const JobSpec& job,
+                           std::uint64_t resolved_seed) {
+  return util::hash_hex(job_params_hash(campaign, job, resolved_seed));
+}
+
+std::string inputs_hash_hex(const std::vector<std::string>& files) {
+  return util::hash_hex(hash_input_artifacts(files));
+}
+
+const ManifestEntry* find_reusable_entry(
+    const std::vector<ManifestEntry>& prior, const std::string& campaign,
+    const std::string& job, const std::string& params_hash,
+    const std::string& inputs_hash) {
+  for (const auto& cached : prior) {
+    if (cached.campaign != campaign || cached.job != job) continue;
+    if (cached.status != "completed" && cached.status != "skipped-cached") {
+      continue;
+    }
+    if (cached.params_hash != params_hash ||
+        cached.inputs_hash != inputs_hash) {
+      continue;
+    }
+    bool artifacts_present = true;
+    for (const auto& path : cached.artifacts) {
+      if (!file_exists(path)) {
+        artifacts_present = false;
+        break;
+      }
+    }
+    if (artifacts_present) return &cached;
+  }
+  return nullptr;
+}
+
+JobRunner::JobRunner(const Campaign& campaign, const JobRegistry& registry,
+                     ManifestWriter& manifest, util::ThreadPool* pool)
+    : campaign_(campaign),
+      registry_(registry),
+      manifest_(manifest),
+      pool_(pool),
+      seeds_(resolve_job_seeds(campaign)),
+      threads_(pool != nullptr ? pool->thread_count() : 1) {}
+
+ManifestEntry JobRunner::base_entry(std::size_t j) const {
+  ManifestEntry entry;
+  entry.campaign = campaign_.name;
+  entry.job = campaign_.jobs[j].id;
+  entry.kind = campaign_.jobs[j].kind;
+  entry.threads = threads_;
+  entry.scale = util::bench_scale();
+  return entry;
+}
+
+JobOutcome JobRunner::block(std::size_t j) {
+  const JobSpec& job = campaign_.jobs[j];
+  JobOutcome outcome;
+  outcome.id = job.id;
+  outcome.status = "blocked";
+  ManifestEntry entry = base_entry(j);
+  entry.status = outcome.status;
+  // Blocked entries carry the params hash (inputs are undefined — a dep
+  // failed) so spool workers can record "blocked under this config"
+  // exactly once and recognise it on re-derivation.
+  entry.params_hash = job_params_hex(campaign_, job, seeds_[j]);
+  manifest_.append(entry);
+  util::log_warn("campaign %s: %s blocked by a failed dependency",
+                 campaign_.name.c_str(), job.id.c_str());
+  return outcome;
+}
+
+JobOutcome JobRunner::run(std::size_t j, const Inputs& inputs,
+                          const std::vector<ManifestEntry>& prior) {
+  const JobSpec& job = campaign_.jobs[j];
+  JobOutcome outcome;
+  outcome.id = job.id;
+
+  JobContext ctx;
+  ctx.campaign = &campaign_;
+  ctx.job = &job;
+  ctx.out_dir = campaign_.out_dir;
+  ctx.seed = seeds_[j];
+  ctx.pool = pool_;
+  ctx.inputs = inputs;
+
+  ManifestEntry entry = base_entry(j);
+  entry.params_hash = job_params_hex(campaign_, job, ctx.seed);
+  std::vector<std::string> input_files;
+  for (const auto& [dep, artifacts] : ctx.inputs) {
+    input_files.insert(input_files.end(), artifacts.begin(), artifacts.end());
+  }
+  entry.inputs_hash = inputs_hash_hex(input_files);
+
+  // Resume: a completed prior entry with identical provenance and
+  // still-present artifacts is reused, not re-run.
+  if (const ManifestEntry* cached =
+          find_reusable_entry(prior, campaign_.name, job.id,
+                              entry.params_hash, entry.inputs_hash)) {
+    outcome.status = "skipped-cached";
+    outcome.result.artifacts = cached->artifacts;
+    entry.status = outcome.status;
+    entry.artifacts = cached->artifacts;
+    manifest_.append(entry);
+    util::log_info("campaign %s: %s skipped (cached, params %s)",
+                   campaign_.name.c_str(), job.id.c_str(),
+                   entry.params_hash.c_str());
+    return outcome;
+  }
+
+  const JobExecutor* executor = registry_.find(job.kind);
+  if (executor == nullptr) {
+    throw std::runtime_error{"campaign '" + campaign_.name +
+                             "': no executor registered for kind '" +
+                             job.kind + "' (run validate_job_kinds first)"};
+  }
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    outcome.result = (*executor)(ctx);
+    outcome.status = "completed";
+  } catch (const std::exception& e) {
+    outcome.status = "failed";
+    outcome.error = e.what();
+  }
+  outcome.seconds = seconds_since(start);
+  entry.status = outcome.status;
+  entry.seconds = outcome.seconds;
+  entry.artifacts = outcome.result.artifacts;
+  manifest_.append(entry);
+  if (outcome.status == "failed") {
+    util::log_error("campaign %s: %s FAILED after %.1fs: %s",
+                    campaign_.name.c_str(), job.id.c_str(), outcome.seconds,
+                    outcome.error.c_str());
+  } else {
+    util::log_info("campaign %s: %s completed in %.1fs%s%s",
+                   campaign_.name.c_str(), job.id.c_str(), outcome.seconds,
+                   outcome.result.note.empty() ? "" : " — ",
+                   outcome.result.note.c_str());
+  }
+  return outcome;
+}
+
+CampaignReport run_campaign(const Campaign& campaign,
+                            const JobRegistry& registry,
+                            const SchedulerOptions& options) {
+  const std::vector<std::vector<std::size_t>> waves =
+      topological_waves(campaign);
+  validate_job_kinds(campaign, registry);
 
   std::error_code ec;
   std::filesystem::create_directories(campaign.out_dir, ec);
@@ -128,32 +272,16 @@ CampaignReport run_campaign(const Campaign& campaign,
       options.resume ? read_manifest(manifest_path(campaign.out_dir))
                      : std::vector<ManifestEntry>{};
   ManifestWriter manifest{manifest_path(campaign.out_dir)};
+  JobRunner runner{campaign, registry, manifest, options.pool};
 
   CampaignReport report;
   report.manifest = manifest.path();
   report.outcomes.resize(campaign.jobs.size());
-  const std::size_t threads =
-      options.pool != nullptr ? options.pool->thread_count() : 1;
 
   const auto run_job = [&](std::size_t j) {
     const JobSpec& job = campaign.jobs[j];
-    JobOutcome& outcome = report.outcomes[j];
-    outcome.id = job.id;
-
-    ManifestEntry entry;
-    entry.campaign = campaign.name;
-    entry.job = job.id;
-    entry.kind = job.kind;
-    entry.threads = threads;
-    entry.scale = util::bench_scale();
-
     // Dependencies settled in earlier waves; any unsatisfied one blocks us.
-    JobContext ctx;
-    ctx.campaign = &campaign;
-    ctx.job = &job;
-    ctx.out_dir = campaign.out_dir;
-    ctx.seed = seeds[j];
-    ctx.pool = options.pool;
+    JobRunner::Inputs inputs;
     bool deps_ok = true;
     for (const auto& dep : job.after) {
       const JobOutcome& dep_outcome =
@@ -162,82 +290,10 @@ CampaignReport run_campaign(const Campaign& campaign,
         deps_ok = false;
         break;
       }
-      ctx.inputs.emplace_back(dep, dep_outcome.result.artifacts);
+      inputs.emplace_back(dep, dep_outcome.result.artifacts);
     }
-    if (!deps_ok) {
-      outcome.status = "blocked";
-      entry.status = outcome.status;
-      manifest.append(entry);
-      util::log_warn("campaign %s: %s blocked by a failed dependency",
-                     campaign.name.c_str(), job.id.c_str());
-      return;
-    }
-
-    entry.params_hash =
-        util::hash_hex(job_params_hash(campaign, job, ctx.seed));
-    std::vector<std::string> input_files;
-    for (const auto& [dep, artifacts] : ctx.inputs) {
-      input_files.insert(input_files.end(), artifacts.begin(),
-                         artifacts.end());
-    }
-    entry.inputs_hash = util::hash_hex(hash_input_artifacts(input_files));
-
-    // Resume: a completed prior entry with identical provenance and
-    // still-present artifacts is reused, not re-run.
-    if (options.resume) {
-      for (const auto& cached : prior) {
-        if (cached.campaign != campaign.name || cached.job != job.id) continue;
-        if (cached.status != "completed" && cached.status != "skipped-cached") {
-          continue;
-        }
-        if (cached.params_hash != entry.params_hash ||
-            cached.inputs_hash != entry.inputs_hash) {
-          continue;
-        }
-        bool artifacts_present = true;
-        for (const auto& path : cached.artifacts) {
-          if (!file_exists(path)) {
-            artifacts_present = false;
-            break;
-          }
-        }
-        if (!artifacts_present) continue;
-        outcome.status = "skipped-cached";
-        outcome.result.artifacts = cached.artifacts;
-        entry.status = outcome.status;
-        entry.artifacts = cached.artifacts;
-        manifest.append(entry);
-        util::log_info("campaign %s: %s skipped (cached, params %s)",
-                       campaign.name.c_str(), job.id.c_str(),
-                       entry.params_hash.c_str());
-        return;
-      }
-    }
-
-    const JobExecutor* executor = registry.find(job.kind);
-    const auto start = std::chrono::steady_clock::now();
-    try {
-      outcome.result = (*executor)(ctx);
-      outcome.status = "completed";
-    } catch (const std::exception& e) {
-      outcome.status = "failed";
-      outcome.error = e.what();
-    }
-    outcome.seconds = seconds_since(start);
-    entry.status = outcome.status;
-    entry.seconds = outcome.seconds;
-    entry.artifacts = outcome.result.artifacts;
-    manifest.append(entry);
-    if (outcome.status == "failed") {
-      util::log_error("campaign %s: %s FAILED after %.1fs: %s",
-                      campaign.name.c_str(), job.id.c_str(), outcome.seconds,
-                      outcome.error.c_str());
-    } else {
-      util::log_info("campaign %s: %s completed in %.1fs%s%s",
-                     campaign.name.c_str(), job.id.c_str(), outcome.seconds,
-                     outcome.result.note.empty() ? "" : " — ",
-                     outcome.result.note.c_str());
-    }
+    report.outcomes[j] =
+        deps_ok ? runner.run(j, inputs, prior) : runner.block(j);
   };
 
   for (const auto& wave : waves) {

@@ -91,6 +91,29 @@ struct SchedulerOptions {
   util::ThreadPool* pool = nullptr;
 };
 
+/// Throw (campaign-level) unless every job's kind has a registered
+/// executor. Both execution front ends call this before touching the
+/// filesystem, so a typo'd kind never creates an out_dir.
+void validate_job_kinds(const Campaign& campaign, const JobRegistry& registry);
+
+/// util::hash_hex(job_params_hash(...)) — the manifest's params_hash column.
+std::string job_params_hex(const Campaign& campaign, const JobSpec& job,
+                           std::uint64_t resolved_seed);
+
+/// util::hash_hex(hash_input_artifacts(files)) — the manifest's inputs_hash
+/// column, over the flattened dependency artifact list in `after` order.
+std::string inputs_hash_hex(const std::vector<std::string>& files);
+
+/// The first prior completed/skipped-cached entry for (campaign, job) whose
+/// params_hash and inputs_hash match and whose artifacts all still exist —
+/// the single reuse test behind --resume, the spool worker's settled check,
+/// and format_plan's "cached" annotation. Returns nullptr when the job must
+/// (re-)run.
+const ManifestEntry* find_reusable_entry(
+    const std::vector<ManifestEntry>& prior, const std::string& campaign,
+    const std::string& job, const std::string& params_hash,
+    const std::string& inputs_hash);
+
 struct JobOutcome {
   std::string id;
   std::string status;  ///< completed | skipped-cached | failed | blocked
@@ -113,6 +136,47 @@ struct CampaignReport {
 
   bool ok() const noexcept { return failed == 0 && blocked == 0; }
   const JobOutcome& outcome_of(const std::string& id) const;
+};
+
+/// The single-job execution path shared by run_campaign's wave loop and
+/// the spool worker (spool.hpp): given a job index and its dependencies'
+/// artifact lists, fingerprint, (maybe) reuse a prior manifest entry,
+/// execute, and append the outcome's manifest line. Keeping both front
+/// ends on this one path is what makes worker-count identity a corollary
+/// of thread-count identity: only *which process* calls run() varies, not
+/// what a job sees.
+class JobRunner {
+ public:
+  /// Dependency artifacts in `after` order: (dep id, its artifact paths).
+  using Inputs = std::vector<std::pair<std::string, std::vector<std::string>>>;
+
+  /// Resolves every job seed up front (deterministically — see
+  /// resolve_job_seeds). `pool` is handed to executors for nested
+  /// parallelism; null runs them single-threaded.
+  JobRunner(const Campaign& campaign, const JobRegistry& registry,
+            ManifestWriter& manifest, util::ThreadPool* pool = nullptr);
+
+  const std::vector<std::uint64_t>& seeds() const noexcept { return seeds_; }
+
+  /// Execute job `j` — or short-circuit it to skipped-cached when a prior
+  /// entry in `prior` passes find_reusable_entry (pass an empty vector to
+  /// force execution). Appends the manifest line; never throws for
+  /// job-level failures (they come back as a failed outcome).
+  JobOutcome run(std::size_t j, const Inputs& inputs,
+                 const std::vector<ManifestEntry>& prior);
+
+  /// Record job `j` as blocked (a dependency failed) without executing it.
+  JobOutcome block(std::size_t j);
+
+ private:
+  ManifestEntry base_entry(std::size_t j) const;
+
+  const Campaign& campaign_;
+  const JobRegistry& registry_;
+  ManifestWriter& manifest_;
+  util::ThreadPool* pool_;
+  std::vector<std::uint64_t> seeds_;
+  std::size_t threads_;
 };
 
 /// Execute the campaign. Creates out_dir, writes the manifest as jobs

@@ -1,0 +1,92 @@
+#include "util/fsatomic.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace netadv::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error{what + " '" + path + "': " + std::strerror(errno)};
+}
+
+/// A sibling temp name unique across processes (pid) and within a process
+/// (atomic counter), so concurrent replace_file calls never collide.
+std::string unique_sibling(const std::string& path) {
+  static std::atomic<unsigned> seq{0};
+  return path + "." + std::to_string(::getpid()) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed)) + ".tmp";
+}
+
+void write_all(int fd, const std::string& content, const std::string& path) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      fail("fsatomic: cannot write", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+bool create_file_exclusive(const std::string& path,
+                           const std::string& content) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (errno == EEXIST) return false;
+    fail("fsatomic: cannot create", path);
+  }
+  write_all(fd, content, path);
+  ::close(fd);
+  return true;
+}
+
+void replace_file(const std::string& path, const std::string& content) {
+  const std::string tmp = unique_sibling(path);
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("fsatomic: cannot create temp", tmp);
+  write_all(fd, content, tmp);
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail("fsatomic: cannot rename over", path);
+  }
+}
+
+bool steal_file(const std::string& path, const std::string& to) {
+  if (::rename(path.c_str(), to.c_str()) == 0) return true;
+  if (errno == ENOENT) return false;  // someone else stole it first
+  fail("fsatomic: cannot steal", path);
+}
+
+std::optional<std::string> read_file_if_exists(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) return std::nullopt;
+  return std::string{std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>()};
+}
+
+std::optional<double> file_age_seconds(const std::string& path) {
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(path, ec);
+  if (ec) return std::nullopt;
+  const auto now = std::filesystem::file_time_type::clock::now();
+  return std::chrono::duration<double>(now - mtime).count();
+}
+
+}  // namespace netadv::util

@@ -1,0 +1,58 @@
+// Cross-process atomic file primitives for the campaign spool protocol
+// (exp/spool.hpp) and anything else that coordinates processes through a
+// shared directory. Three operations, each atomic at the filesystem level:
+//
+//   * create_file_exclusive — O_CREAT|O_EXCL: at most one of any number of
+//     concurrent callers (threads *or* processes) wins. The claim-
+//     acquisition primitive.
+//   * replace_file — write a unique sibling temp file, then rename() over
+//     the target. Readers see either the old or the new content, never a
+//     torn mix. The heartbeat-refresh primitive.
+//   * steal_file — rename() the target to a caller-unique name. rename()
+//     fails with ENOENT for every caller but one, so exactly one of any
+//     number of concurrent stealers wins. The stale-claim-breaking
+//     primitive.
+//
+// All three return false (rather than throwing) on the contended outcome
+// — "someone else got there first" is the expected case, not an error.
+// Genuine I/O failures (unwritable directory, disk full) throw
+// std::runtime_error.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace netadv::util {
+
+/// Atomically create `path` with `content` iff it does not already exist.
+/// Returns false if the file exists (someone else won the race); throws on
+/// any other failure. The content is written and flushed before the
+/// function returns, so a concurrent reader of a successfully created file
+/// never sees a partial write... of a *different* kind than rename gives:
+/// O_EXCL makes the *name* appear before the bytes do, so readers must
+/// tolerate a briefly empty file (the spool's staleness check keys off
+/// mtime, not content, for exactly this reason).
+bool create_file_exclusive(const std::string& path, const std::string& content);
+
+/// Atomically replace (or create) `path` with `content`: writes
+/// `<path>.<pid>.<seq>.tmp` in the same directory, flushes, then renames it
+/// over `path`. Readers never observe partial content. Throws on failure.
+void replace_file(const std::string& path, const std::string& content);
+
+/// Atomically move `path` to `to`. Returns true if this caller performed
+/// the move, false if `path` no longer exists (another caller stole it
+/// first). Throws on any other failure.
+bool steal_file(const std::string& path, const std::string& to);
+
+/// The file's content, or nullopt if it does not exist (or vanishes while
+/// being read — a stolen claim is indistinguishable from a missing one).
+std::optional<std::string> read_file_if_exists(const std::string& path);
+
+/// Age of `path` in seconds by its mtime, or nullopt if it does not exist.
+/// This is the spool lease clock: replace_file bumps the mtime, so a live
+/// heartbeat keeps the age near zero and a kill -9'd owner's file ages
+/// without bound. Uses the filesystem clock — on a shared filesystem all
+/// workers see the same one.
+std::optional<double> file_age_seconds(const std::string& path);
+
+}  // namespace netadv::util

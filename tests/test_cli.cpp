@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -31,7 +32,10 @@ std::string out_dir() {
 /// optional `VAR=value` prefix applied to the child only.
 int run_cli(const std::string& args, std::string* output = nullptr,
             const std::string& env = "") {
-  const std::string capture = out_dir() + "/last_output.txt";
+  // Per-process capture file: ctest runs these tests as parallel processes
+  // sharing one temp dir, so a fixed name would interleave captures.
+  const std::string capture =
+      out_dir() + "/output." + std::to_string(::getpid()) + ".txt";
   const std::string command = (env.empty() ? "" : "env " + env + " ") +
                               cli_path() + " " + args + " > " + capture +
                               " 2>&1";
@@ -167,6 +171,56 @@ TEST(Cli, CampaignOnMissingSpecIsARuntimeError) {
 
 TEST(Cli, CampaignUnknownFlagIsAUsageError) {
   EXPECT_EQ(run_cli("campaign spec --frobnicate"), 2);
+}
+
+TEST(Cli, CampaignWorkerRunsAndASecondWorkerFindsItSettled) {
+  const std::string spec = out_dir() + "/worker.campaign";
+  const std::string campaign_out = out_dir() + "/worker_out";
+  std::filesystem::remove_all(campaign_out);
+  std::ofstream{spec} << "[campaign]\nname = w\nout_dir = " << campaign_out
+                      << "\n[job corpus]\nkind = gen-traces\n"
+                      << "generator = random\ncount = 2\n";
+  std::string output;
+  EXPECT_EQ(run_cli("campaign " + spec + " --worker", &output), 0);
+  EXPECT_NE(output.find("1 ok"), std::string::npos);
+  EXPECT_NE(output.find("1 executed"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(campaign_out + "/corpus_traces.csv"));
+  // A second worker joins an already-settled campaign: nothing to do, same
+  // whole-campaign verdict.
+  EXPECT_EQ(run_cli("campaign " + spec + " --worker", &output), 0);
+  EXPECT_NE(output.find("0 executed"), std::string::npos);
+}
+
+TEST(Cli, CampaignSpawnWorkersRunsAFleet) {
+  const std::string spec = out_dir() + "/fleet.campaign";
+  const std::string campaign_out = out_dir() + "/fleet_out";
+  std::filesystem::remove_all(campaign_out);
+  std::ofstream{spec} << "[campaign]\nname = fleet\nout_dir = "
+                      << campaign_out
+                      << "\n[job corpus]\nkind = gen-traces\n"
+                      << "generator = random\ncount = 2\n"
+                      << "[job corpus2]\nkind = gen-traces\n"
+                      << "generator = 3g\ncount = 2\n";
+  std::string output;
+  EXPECT_EQ(run_cli("campaign " + spec + " --spawn-workers 2 --poll-ms 20",
+                    &output),
+            0);
+  EXPECT_NE(output.find("2 worker(s) finished, verdict ok"),
+            std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(campaign_out + "/corpus_traces.csv"));
+  EXPECT_TRUE(std::filesystem::exists(campaign_out + "/corpus2_traces.csv"));
+}
+
+TEST(Cli, CampaignWorkerFlagValidation) {
+  // Value-taking flags reject garbage and missing values; mode conflicts
+  // are usage errors.
+  EXPECT_EQ(run_cli("campaign spec --spawn-workers"), 2);
+  EXPECT_EQ(run_cli("campaign spec --spawn-workers zero"), 2);
+  EXPECT_EQ(run_cli("campaign spec --spawn-workers 0"), 2);
+  EXPECT_EQ(run_cli("campaign spec --lease -1"), 2);
+  EXPECT_EQ(run_cli("campaign spec --poll-ms 0"), 2);
+  EXPECT_EQ(run_cli("campaign spec --worker --spawn-workers 2"), 2);
+  EXPECT_EQ(run_cli("campaign spec --worker --dry-run"), 2);
 }
 
 TEST(Cli, InfoReportsBackendsAndKnobResolution) {

@@ -37,8 +37,30 @@ for b in $registered; do
   fi
 done
 
-# README's registry table vs the live registries, via `netadv_cli list`.
+# README's campaign usage lines vs the binary's own usage text: every
+# `netadv_cli campaign ...` line the CLI prints must appear verbatim in
+# README (same self-skip-without-binary pattern as the registry check), so
+# the documented worker/resume flags can never drift from the parser.
 readme="$root/README.md"
+if [ -n "${NETADV_CLI:-}" ] && [ -x "${NETADV_CLI:-}" ]; then
+  usage_lines="$("$NETADV_CLI" 2>&1 |
+                 sed -n '/netadv_cli campaign/,/netadv_cli info/p' |
+                 sed '$d; s/^  *//')"
+  if [ -z "$usage_lines" ]; then
+    echo "docs-lint: could not extract campaign usage from netadv_cli" >&2
+    status=1
+  fi
+  printf '%s\n' "$usage_lines" | while IFS= read -r line; do
+    if ! grep -qF "$line" "$readme"; then
+      echo "docs-lint: README.md is missing the CLI usage line: $line" >&2
+      exit 1
+    fi
+  done || status=1
+else
+  echo "docs-lint: NETADV_CLI not set; skipping the campaign usage check"
+fi
+
+# README's registry table vs the live registries, via `netadv_cli list`.
 if [ -n "${NETADV_CLI:-}" ] && [ -x "${NETADV_CLI:-}" ]; then
   doc_names="$(sed -n '/registry-table-begin/,/registry-table-end/p' "$readme" |
                sed -n 's/^| `\([a-z0-9_-]*\)`.*/\1/p' | sort -u)"
