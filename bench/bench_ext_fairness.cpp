@@ -118,6 +118,54 @@ void run_fairness() {
                 adv_jain < benign.jain - 0.02 ? "YES" : "NO");
   }
 
+  // Victim-reward variant: the same adversary recipe, paid only for
+  // suppressing flow 0 (reward = victim in campaign terms). The Jain
+  // variant is indifferent to *which* flow starves; this one must pin the
+  // designated victim of two identical BBR flows below its benign ~half
+  // share — symmetry broken only by the arrival stagger.
+  {
+    const std::size_t steps = util::scaled_steps(150000, 8192);
+    util::log_info("fairness: training victim adversary (%zu steps)", steps);
+    core::FairnessAdversaryEnv::Params params;
+    params.reward = core::FairnessAdversaryEnv::RewardKind::kVictim;
+    core::FairnessAdversaryEnv env{params};
+    rl::PpoAgent adversary{env.observation_size(), env.action_spec(),
+                           core::cc_adversary_ppo_config(), 4245};
+    adversary.train(env, steps);
+
+    util::Rng rng{4246};
+    rl::Vec obs = env.reset(rng);
+    double victim_sum = 0.0;
+    std::size_t n = 0;
+    std::size_t epoch = 1;  // reset runs the first epoch
+    rl::StepResult r{};
+    while (!r.done) {
+      r = env.step(adversary.act_stochastic(obs, rng), rng);
+      obs = r.observation;
+      ++epoch;
+      // Average only contended epochs (past the reward gate): before the
+      // last flow starts, the victim holds the whole link and would
+      // inflate the mean.
+      const double now = static_cast<double>(epoch) * params.epoch_s;
+      if (now > env.all_started_at_s() + params.epoch_s) {
+        victim_sum += env.last_victim_utilization();
+        ++n;
+      }
+    }
+    const double adv_victim = victim_sum / static_cast<double>(n);
+    const PairResult benign = run_pair("bbr", "bbr", 0.25, sim_s);
+    const double link_mbps = 12.0;
+    const double benign_victim = benign.tput_a / link_mbps;
+    std::printf("\nvictim adversary vs two identical BBR flows (victim = "
+                "flow 0):\n");
+    std::printf("  mean victim utilization under the adversary: %.3f\n",
+                adv_victim);
+    std::printf("  victim utilization on a benign steady link:  %.3f\n",
+                benign_victim);
+    std::printf("  adversary suppresses the designated victim:  %s\n",
+                adv_victim < benign_victim - 0.02 ? "YES" : "NO");
+  }
+
   const PairResult homo = run_pair("reno", "reno", 0.25, sim_s);
   const PairResult mixed = run_pair("bbr", "cubic", 0.05, sim_s);
   std::printf("\nshape checks:\n");

@@ -13,14 +13,18 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
 double jain_fairness_index(const std::vector<double>& throughputs) {
-  if (throughputs.empty()) return 0.0;
+  // An interval where every flow is starved is trivially *fair* (all flows
+  // equal, at zero), not maximally unfair: returning 0 here would pay a
+  // fairness adversary full reward for starving everyone — exactly what the
+  // loss penalty exists to prevent. Same for the vacuous empty input.
+  if (throughputs.empty()) return 1.0;
   double sum = 0.0;
   double sum_sq = 0.0;
   for (double x : throughputs) {
     sum += x;
     sum_sq += x * x;
   }
-  if (sum_sq <= 0.0) return 0.0;
+  if (sum_sq <= 0.0) return 1.0;
   return sum * sum / (static_cast<double>(throughputs.size()) * sum_sq);
 }
 
@@ -59,6 +63,7 @@ MultiFlowRunner::MultiFlowRunner(std::vector<CcSender*> senders,
     flow.start_time_s = start_times_s.empty() ? 0.0 : start_times_s[i];
     flow.send_allowed_at_s = flow.start_time_s;
     flow.last_rtt_s = 2.0 * link_.conditions().one_way_delay_ms / 1000.0;
+    flow.last_mean_rtt_s = flow.last_rtt_s;
     flow.sender->start(flow.start_time_s);
     flows_.push_back(flow);
   }
@@ -185,6 +190,13 @@ MultiFlowRunner::Interval MultiFlowRunner::collect() {
     if (stats.packets_delivered > 0) {
       stats.mean_rtt_s =
           flow.rtt_sum_s / static_cast<double>(stats.packets_delivered);
+      flow.last_mean_rtt_s = stats.mean_rtt_s;
+    } else {
+      // No deliveries this interval (starved or not yet started): carry the
+      // previous interval's mean (the link's base RTT before any delivery)
+      // instead of reporting 0 ms — a 0-RTT sample would otherwise be
+      // averaged into latency observations downstream.
+      stats.mean_rtt_s = flow.last_mean_rtt_s;
     }
     interval.flows.push_back(stats);
     flow.interval = FlowStats{};

@@ -21,6 +21,9 @@ struct FlowStats {
   std::uint64_t packets_delivered = 0;
   std::uint64_t packets_lost = 0;
   double delivered_bits = 0.0;
+  /// Mean RTT of this interval's deliveries; for an interval with no
+  /// deliveries, the previous interval's mean (the link's base RTT before
+  /// any delivery) — never a fabricated 0 ms.
   double mean_rtt_s = 0.0;
 
   double throughput_mbps(double duration_s) const noexcept {
@@ -29,7 +32,9 @@ struct FlowStats {
 };
 
 /// Jain's fairness index over per-flow throughputs: 1 = perfectly fair,
-/// 1/n = one flow has everything. Returns 0 for empty/zero input.
+/// 1/n = one flow has everything. All-zero (every flow starved) and empty
+/// inputs are trivially fair and return 1 — unfairness requires an
+/// *imbalance*, so total starvation must not score as maximal unfairness.
 double jain_fairness_index(const std::vector<double>& throughputs);
 
 class MultiFlowRunner {
@@ -83,6 +88,7 @@ class MultiFlowRunner {
     double send_allowed_at_s = 0.0;
     double inflight = 0.0;
     double last_rtt_s = 0.1;
+    double last_mean_rtt_s = 0.1;  ///< carried into delivery-free intervals
     std::uint64_t delivered = 0;
     double delivered_time_s = 0.0;
     std::uint64_t total_sent = 0;

@@ -8,6 +8,35 @@
 
 namespace netadv::core {
 
+/// The cross-traffic accomplice: a non-congestion-responsive blast source
+/// the env gates on/off per epoch. During "on" stretches it paces at a fixed
+/// rate under a fixed window; during "off" stretches its window is zero, so
+/// the runner stops scheduling sends while in-flight packets drain normally.
+/// Deliberately deaf to ACKs and losses — real bursty cross-traffic (incast
+/// waves, UDP blasts) does not back off, which is what makes it useful to an
+/// adversary.
+class OnOffBlastSender final : public cc::CcSender {
+ public:
+  OnOffBlastSender(double rate_mbps, double cwnd_packets)
+      : rate_bps_(rate_mbps * 1e6), cwnd_packets_(cwnd_packets) {}
+
+  std::string name() const override { return "cross-blast"; }
+  void start(double /*now_s*/) override { active_ = true; }
+  void on_ack(const cc::AckInfo& /*ack*/) override {}
+  void on_loss(const cc::LossInfo& /*loss*/) override {}
+  double pacing_rate_bps() const override { return rate_bps_; }
+  double cwnd_packets() const override { return active_ ? cwnd_packets_ : 0.0; }
+
+  void set_active(bool active) noexcept { active_ = active; }
+
+ private:
+  double rate_bps_;
+  double cwnd_packets_;
+  bool active_ = true;
+};
+
+FairnessAdversaryEnv::~FairnessAdversaryEnv() = default;
+
 FairnessAdversaryEnv::FairnessAdversaryEnv(Params params,
                                            std::vector<SenderFactory> factories)
     : params_(params), factories_(std::move(factories)) {
@@ -17,7 +46,10 @@ FairnessAdversaryEnv::FairnessAdversaryEnv(Params params,
       params_.loss_min < 0.0 || params_.loss_max > 1.0 ||
       params_.loss_max < params_.loss_min || params_.epoch_s <= 0.0 ||
       params_.episode_duration_s < params_.epoch_s ||
-      params_.stagger_s < 0.0) {
+      params_.stagger_s < 0.0 || params_.cross_rate_mbps <= 0.0 ||
+      params_.cross_cwnd_packets <= 0.0 || params_.cross_period_s <= 0.0 ||
+      params_.late_join_min_s < 0.0 ||
+      params_.late_join_max_s < params_.late_join_min_s) {
     throw std::invalid_argument{"FairnessAdversaryEnv: bad parameters"};
   }
   if (factories_.empty()) {
@@ -34,31 +66,64 @@ FairnessAdversaryEnv::FairnessAdversaryEnv(Params params,
   }
 }
 
+std::string FairnessAdversaryEnv::name() const {
+  switch (params_.scenario) {
+    case Scenario::kCrossTraffic:
+      return "cross-traffic-adversary";
+    case Scenario::kLateJoin:
+      return "late-join-adversary";
+    case Scenario::kFairness:
+      break;
+  }
+  return "fairness-adversary";
+}
+
 rl::ActionSpec FairnessAdversaryEnv::action_spec() const {
   return rl::ActionSpec::continuous(
       {params_.bandwidth_min_mbps, params_.latency_min_ms, params_.loss_min},
       {params_.bandwidth_max_mbps, params_.latency_max_ms, params_.loss_max});
 }
 
+std::vector<double> FairnessAdversaryEnv::mix_throughputs() const {
+  std::vector<double> tput;
+  const std::size_t n =
+      std::min(factories_.size(), last_interval_.flows.size());
+  tput.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tput.push_back(
+        last_interval_.flows[i].throughput_mbps(last_interval_.duration_s));
+  }
+  return tput;
+}
+
 rl::Vec FairnessAdversaryEnv::observe() const {
-  const auto tput = last_interval_.throughputs_mbps();
+  const std::vector<double> tput = mix_throughputs();
   double total = 0.0;
   for (double t : tput) total += t;
-  const double share0 = total > 0.0 && !tput.empty() ? tput[0] / total : 0.5;
+  // A starved interval has no meaningful share; 0/0 must not reach the
+  // policy network. Define it as the fair share 1/n.
+  const double share0 =
+      total > 0.0 && !tput.empty()
+          ? tput[0] / total
+          : 1.0 / static_cast<double>(std::max<std::size_t>(
+                1, factories_.size()));
   double qdelay = 0.0;
-  // Approximate path queueing from the flows' mean RTT above the base RTT.
+  // Approximate path queueing from the mix flows' mean RTT above the base
+  // RTT. mean_rtt_s is always meaningful (delivery-free intervals carry the
+  // previous value, never 0 ms), so every flow contributes.
   if (!last_interval_.flows.empty()) {
     const double base_rtt =
         2.0 * params_.link.initial.one_way_delay_ms / 1000.0;
     double rtt_sum = 0.0;
     std::size_t n = 0;
-    for (const auto& f : last_interval_.flows) {
-      if (f.packets_delivered > 0) {
-        rtt_sum += f.mean_rtt_s;
-        ++n;
-      }
+    for (std::size_t i = 0;
+         i < std::min(factories_.size(), last_interval_.flows.size()); ++i) {
+      rtt_sum += last_interval_.flows[i].mean_rtt_s;
+      ++n;
     }
-    if (n > 0) qdelay = std::max(0.0, rtt_sum / static_cast<double>(n) - base_rtt);
+    if (n > 0) {
+      qdelay = std::max(0.0, rtt_sum / static_cast<double>(n) - base_rtt);
+    }
   }
   return {share0, last_interval_.aggregate_utilization(),
           std::min(1.0, qdelay / params_.queue_delay_scale_s)};
@@ -66,27 +131,66 @@ rl::Vec FairnessAdversaryEnv::observe() const {
 
 rl::Vec FairnessAdversaryEnv::reset(util::Rng& rng) {
   senders_.clear();
+  cross_sender_.reset();
+  cross_active_.clear();
   std::vector<cc::CcSender*> raw;
   for (const auto& factory : factories_) {
     senders_.push_back(factory());
     raw.push_back(senders_.back().get());
   }
+
+  std::vector<double> starts;
+  late_join_time_s_ = 0.0;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    starts.push_back(static_cast<double>(i) * params_.stagger_s);
+  }
+  if (params_.scenario == Scenario::kLateJoin) {
+    // The last mix flow's arrival is the episode's randomized event; the
+    // adversary learns to ambush it.
+    late_join_time_s_ = std::min(
+        rng.uniform(params_.late_join_min_s, params_.late_join_max_s),
+        params_.episode_duration_s);
+    starts.back() = late_join_time_s_;
+  }
+  if (params_.scenario == Scenario::kCrossTraffic) {
+    cross_sender_ = std::make_unique<OnOffBlastSender>(
+        params_.cross_rate_mbps, params_.cross_cwnd_packets);
+    raw.push_back(cross_sender_.get());
+    starts.push_back(0.0);
+    // Draw the whole on/off schedule up front (episode-deterministic): each
+    // stretch lasts [0.5, 1.5] x period, starting from a random phase.
+    const std::size_t epochs = epochs_per_episode();
+    cross_active_.resize(epochs + 1);
+    bool on = rng.bernoulli(0.5);
+    double until = rng.uniform(0.5, 1.5) * params_.cross_period_s;
+    for (std::size_t e = 0; e <= epochs; ++e) {
+      const double t = static_cast<double>(e) * params_.epoch_s;
+      while (t >= until) {
+        on = !on;
+        until += rng.uniform(0.5, 1.5) * params_.cross_period_s;
+      }
+      cross_active_[e] = on ? 1 : 0;
+    }
+  }
+  all_started_at_s_ = 0.0;
+  for (std::size_t i = 0; i < factories_.size(); ++i) {
+    all_started_at_s_ = std::max(all_started_at_s_, starts[i]);
+  }
+
   cc::LinkSim::Params link = params_.link;
   link.initial.bandwidth_mbps =
       0.5 * (params_.bandwidth_min_mbps + params_.bandwidth_max_mbps);
   link.initial.one_way_delay_ms =
       0.5 * (params_.latency_min_ms + params_.latency_max_ms);
   link.initial.loss_rate = 0.0;
-  std::vector<double> starts;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    starts.push_back(static_cast<double>(i) * params_.stagger_s);
-  }
   runner_ = std::make_unique<cc::MultiFlowRunner>(raw, link, rng(), starts);
   epoch_index_ = 0;
   last_reward_ = AdversaryReward{};
   last_jain_ = 1.0;
+  last_victim_util_ = 0.0;
   ewma_initialized_ = false;
 
+  if (cross_sender_) cross_sender_->set_active(cross_active_[0] != 0);
   runner_->run_until(params_.epoch_s);
   last_interval_ = runner_->collect();
   ++epoch_index_;
@@ -102,6 +206,9 @@ rl::StepResult FairnessAdversaryEnv::step(const rl::Vec& action,
   const double latency = physical[1];
   const double loss = physical[2];
 
+  if (cross_sender_ && epoch_index_ < cross_active_.size()) {
+    cross_sender_->set_active(cross_active_[epoch_index_] != 0);
+  }
   runner_->set_conditions({bandwidth, latency, loss});
   const double t_end = static_cast<double>(epoch_index_ + 1) * params_.epoch_s;
   runner_->run_until(t_end);
@@ -125,19 +232,35 @@ rl::StepResult FairnessAdversaryEnv::step(const rl::Vec& action,
   ewma_bw_norm_ += params_.ewma_alpha * (bw_norm - ewma_bw_norm_);
   ewma_lat_norm_ += params_.ewma_alpha * (lat_norm - ewma_lat_norm_);
 
-  // Jain of 1 is attainable (fair sharing); the adversary is paid for the
-  // gap it opens, Equation-1 style. Before the last flow has started the
-  // imbalance is structural, not earned: gate the reward at jain = 1.
-  const double all_started_at =
-      static_cast<double>(factories_.size() - 1) * params_.stagger_s;
-  last_jain_ = cc::jain_fairness_index(last_interval_.throughputs_mbps());
+  // Unfairness of 0 is attainable (fair sharing); the adversary is paid for
+  // the gap it opens, Equation-1 style. Before the last mix flow has started
+  // the imbalance is structural, not earned, and an interval where the link
+  // moved nothing at all offers nothing to divide unfairly — both gate the
+  // pay term to its fair value.
+  const std::size_t n = factories_.size();
+  last_jain_ = cc::jain_fairness_index(mix_throughputs());
+  // min() clamp as in aggregate_utilization(): queued packets from the
+  // previous epoch can deliver just past the boundary, nudging a single
+  // interval's ratio above 1.
+  last_victim_util_ =
+      last_interval_.capacity_bits > 0.0 && !last_interval_.flows.empty()
+          ? std::min(1.0, last_interval_.flows[0].delivered_bits /
+                              last_interval_.capacity_bits)
+          : 0.0;
+  // Victim pay term: 1 at the victim's fair share (or above), 0 when fully
+  // starved — same scale as the Jain term.
+  double victim_term =
+      std::min(1.0, static_cast<double>(n) * last_victim_util_);
   if (last_interval_.flows.empty() ||
       last_interval_.aggregate_utilization() <= 0.0 ||
-      runner_->now_s() <= all_started_at + params_.epoch_s) {
+      runner_->now_s() <= all_started_at_s_ + params_.epoch_s) {
     last_jain_ = 1.0;  // nothing earned yet
+    victim_term = 1.0;
   }
   last_reward_.optimal = 1.0;
-  last_reward_.protocol = last_jain_ + loss;
+  last_reward_.protocol =
+      (params_.reward == RewardKind::kVictim ? victim_term : last_jain_) +
+      loss;
   last_reward_.smoothing = params_.smoothing_coefficient * smoothing_raw;
 
   rl::StepResult result;
@@ -145,6 +268,23 @@ rl::StepResult FairnessAdversaryEnv::step(const rl::Vec& action,
   result.done = epoch_index_ >= epochs_per_episode();
   result.observation = observe();
   return result;
+}
+
+std::optional<FairnessAdversaryEnv::Scenario> fairness_scenario_for(
+    const std::string& adversary_kind) {
+  using Scenario = FairnessAdversaryEnv::Scenario;
+  if (adversary_kind == "fairness") return Scenario::kFairness;
+  if (adversary_kind == "cross-traffic") return Scenario::kCrossTraffic;
+  if (adversary_kind == "late-join") return Scenario::kLateJoin;
+  return std::nullopt;
+}
+
+FairnessAdversaryEnv::RewardKind parse_fairness_reward(
+    const std::string& text) {
+  if (text == "jain") return FairnessAdversaryEnv::RewardKind::kJain;
+  if (text == "victim") return FairnessAdversaryEnv::RewardKind::kVictim;
+  throw std::runtime_error{"unknown fairness reward '" + text +
+                           "' (jain | victim)"};
 }
 
 }  // namespace netadv::core

@@ -2,6 +2,7 @@
 
 #include "cc/bbr.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace netadv::core {
@@ -170,6 +171,80 @@ std::vector<CcEpisodeRecord> record_cc_episodes(
   return pool->parallel_map(count, record_one);
 }
 
+FairnessEpisodeRecord record_fairness_episode(rl::PpoAgent& agent,
+                                              FairnessAdversaryEnv& env,
+                                              util::Rng& rng,
+                                              bool deterministic) {
+  FairnessEpisodeRecord record;
+  const rl::ActionSpec spec = env.action_spec();
+
+  rl::Vec obs = env.reset(rng);
+  record.flow_throughput_mbps.resize(env.mix_flow_count());
+  record.late_join_time_s = env.late_join_time_s();
+  double jain_sum = 0.0;
+  double victim_sum = 0.0;
+  double util_sum = 0.0;
+  std::size_t epochs = 0;
+  while (true) {
+    const rl::Vec raw = deterministic ? agent.act_deterministic(obs)
+                                      : agent.act_stochastic(obs, rng);
+    const rl::Vec physical = spec.to_physical(raw);
+
+    record.bandwidth_mbps.push_back(physical[0]);
+    record.latency_ms.push_back(physical[1]);
+    record.loss_rate.push_back(physical[2]);
+
+    rl::StepResult result = env.step(raw, rng);
+    const cc::MultiFlowRunner::Interval& interval = env.last_interval();
+    for (std::size_t f = 0; f < env.mix_flow_count(); ++f) {
+      record.flow_throughput_mbps[f].push_back(
+          f < interval.flows.size()
+              ? interval.flows[f].throughput_mbps(interval.duration_s)
+              : 0.0);
+    }
+    record.jain.push_back(env.last_jain());
+    record.victim_utilization.push_back(env.last_victim_utilization());
+    record.aggregate_utilization.push_back(interval.aggregate_utilization());
+    jain_sum += env.last_jain();
+    victim_sum += env.last_victim_utilization();
+    util_sum += interval.aggregate_utilization();
+    ++epochs;
+
+    record.trace.append({env.params().epoch_s, physical[0], physical[1],
+                         physical[2]});
+    if (result.done) break;
+    obs = std::move(result.observation);
+  }
+  if (epochs > 0) {
+    const auto n = static_cast<double>(epochs);
+    record.mean_jain = jain_sum / n;
+    record.mean_victim_utilization = victim_sum / n;
+    record.mean_aggregate_utilization = util_sum / n;
+  }
+  return record;
+}
+
+std::vector<FairnessEpisodeRecord> record_fairness_episodes(
+    const rl::PpoAgent& agent, const FairnessAdversaryEnv::Params& params,
+    std::vector<FairnessAdversaryEnv::SenderFactory> factories,
+    std::size_t count, std::uint64_t seed, bool deterministic,
+    util::ThreadPool* pool) {
+  util::Rng master{seed};
+  std::vector<util::Rng> streams = master.fork_streams(count);
+
+  auto record_one = [&](std::size_t i) {
+    FairnessAdversaryEnv env{params, factories};
+    rl::PpoAgent clone = agent;
+    return record_fairness_episode(clone, env, streams[i], deterministic);
+  };
+  if (pool == nullptr) {
+    std::vector<FairnessEpisodeRecord> records(count);
+    for (std::size_t i = 0; i < count; ++i) records[i] = record_one(i);
+    return records;
+  }
+  return pool->parallel_map(count, record_one);
+}
+
 CcReplayResult replay_cc_trace(cc::CcSender& sender, const trace::Trace& t,
                                const cc::LinkSim::Params& link_params,
                                std::uint64_t seed) {
@@ -215,6 +290,87 @@ std::vector<CcReplayResult> replay_cc_traces(
   if (pool == nullptr) {
     std::vector<CcReplayResult> results(traces.size());
     for (std::size_t i = 0; i < traces.size(); ++i) results[i] = replay_one(i);
+    return results;
+  }
+  return pool->parallel_map(traces.size(), replay_one);
+}
+
+FairnessReplayResult replay_fairness_trace(
+    const std::vector<SenderFactory>& mix, const trace::Trace& t,
+    const cc::LinkSim::Params& link_params, double stagger_s,
+    std::uint64_t seed) {
+  if (t.empty()) {
+    throw std::invalid_argument{"replay_fairness_trace: empty trace"};
+  }
+  if (mix.size() < 2) {
+    throw std::invalid_argument{"replay_fairness_trace: need >= 2 flows"};
+  }
+  std::vector<std::unique_ptr<cc::CcSender>> senders;
+  std::vector<cc::CcSender*> raw;
+  std::vector<double> starts;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    senders.push_back(mix[i]());
+    if (!senders.back()) {
+      throw std::invalid_argument{
+          "replay_fairness_trace: factory returned null"};
+    }
+    raw.push_back(senders.back().get());
+    starts.push_back(static_cast<double>(i) * stagger_s);
+  }
+  cc::MultiFlowRunner runner{raw, link_params, seed, starts};
+
+  FairnessReplayResult result;
+  result.mean_flow_throughput_mbps.assign(mix.size(), 0.0);
+  double now = 0.0;
+  double jain_sum = 0.0;
+  double victim_sum = 0.0;
+  double util_sum = 0.0;
+  for (const auto& segment : t.segments()) {
+    runner.set_conditions({segment.bandwidth_mbps, segment.latency_ms,
+                           segment.loss_rate});
+    now += segment.duration_s;
+    runner.run_until(now);
+    const cc::MultiFlowRunner::Interval interval = runner.collect();
+    const double jain = cc::jain_fairness_index(interval.throughputs_mbps());
+    result.jain.push_back(jain);
+    jain_sum += jain;
+    victim_sum += interval.capacity_bits > 0.0 && !interval.flows.empty()
+                      ? std::min(1.0, interval.flows[0].delivered_bits /
+                                          interval.capacity_bits)
+                      : 0.0;
+    util_sum += interval.aggregate_utilization();
+    for (std::size_t f = 0; f < mix.size() && f < interval.flows.size();
+         ++f) {
+      result.mean_flow_throughput_mbps[f] +=
+          interval.flows[f].throughput_mbps(interval.duration_s);
+    }
+  }
+  const auto n = static_cast<double>(t.size());
+  result.mean_jain = jain_sum / n;
+  result.mean_victim_utilization = victim_sum / n;
+  result.mean_aggregate_utilization = util_sum / n;
+  for (double& v : result.mean_flow_throughput_mbps) v /= n;
+  return result;
+}
+
+std::vector<FairnessReplayResult> replay_fairness_traces(
+    const std::vector<SenderFactory>& mix,
+    const std::vector<trace::Trace>& traces,
+    const cc::LinkSim::Params& link_params, double stagger_s,
+    std::uint64_t seed, util::ThreadPool* pool) {
+  util::Rng master{seed};
+  std::vector<std::uint64_t> seeds(traces.size());
+  for (auto& s : seeds) s = master();
+
+  auto replay_one = [&](std::size_t i) {
+    return replay_fairness_trace(mix, traces[i], link_params, stagger_s,
+                                 seeds[i]);
+  };
+  if (pool == nullptr) {
+    std::vector<FairnessReplayResult> results(traces.size());
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      results[i] = replay_one(i);
+    }
     return results;
   }
   return pool->parallel_map(traces.size(), replay_one);

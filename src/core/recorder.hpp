@@ -13,6 +13,7 @@
 
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
+#include "core/fairness_adversary.hpp"
 #include "rl/ppo.hpp"
 #include "trace/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -98,6 +99,43 @@ std::vector<CcEpisodeRecord> record_cc_episodes(
     std::uint64_t seed, bool deterministic = false,
     util::ThreadPool* pool = nullptr);
 
+/// Per-epoch timeline of one fairness adversarial episode (a flow mix on
+/// the shared bottleneck, optionally with a cross-traffic accomplice or a
+/// late-joining flow — whichever scenario the env encodes).
+struct FairnessEpisodeRecord {
+  // Physical link conditions applied per epoch.
+  std::vector<double> bandwidth_mbps;
+  std::vector<double> latency_ms;
+  std::vector<double> loss_rate;
+  /// Per-epoch mix-flow throughputs: flow_throughput_mbps[f][epoch]
+  /// (accomplice traffic excluded — it's the attack, not the subject).
+  std::vector<std::vector<double>> flow_throughput_mbps;
+  std::vector<double> jain;                 ///< per-epoch mix Jain index
+  std::vector<double> victim_utilization;   ///< mix flow 0's capacity share
+  std::vector<double> aggregate_utilization;
+  double mean_jain = 1.0;
+  double mean_victim_utilization = 0.0;
+  double mean_aggregate_utilization = 0.0;
+  double late_join_time_s = 0.0;  ///< kLateJoin: this episode's drawn arrival
+  trace::Trace trace;             ///< per-epoch segments, replayable
+};
+
+FairnessEpisodeRecord record_fairness_episode(rl::PpoAgent& agent,
+                                              FairnessAdversaryEnv& env,
+                                              util::Rng& rng,
+                                              bool deterministic = true);
+
+/// Batch variant: `count` episodes across `pool` (sequentially when null),
+/// one fresh (cloned agent, fresh env with fresh mix senders) pair per task.
+/// Same determinism contract as record_cc_episodes: streams forked from
+/// `seed` in episode order on the caller, results reduced by episode index,
+/// bit-identical at every thread count.
+std::vector<FairnessEpisodeRecord> record_fairness_episodes(
+    const rl::PpoAgent& agent, const FairnessAdversaryEnv::Params& params,
+    std::vector<FairnessAdversaryEnv::SenderFactory> factories,
+    std::size_t count, std::uint64_t seed, bool deterministic = false,
+    util::ThreadPool* pool = nullptr);
+
 /// Replay a recorded CC trace (fixed conditions per segment) against a
 /// sender, ignoring the adversary: used to check that recorded traces
 /// reproduce the damage without re-running the adversary (Section 2.1).
@@ -123,5 +161,28 @@ std::vector<CcReplayResult> replay_cc_traces(
     const SenderFactory& make_sender, const std::vector<trace::Trace>& traces,
     const cc::LinkSim::Params& link_params, std::uint64_t seed,
     util::ThreadPool* pool = nullptr);
+
+/// Replay a recorded trace against a whole flow mix on a shared bottleneck —
+/// the fairness analogue of replay_cc_trace. Starts are staggered by
+/// `stagger_s` like the env's kFairness scenario.
+struct FairnessReplayResult {
+  double mean_jain = 1.0;
+  double mean_victim_utilization = 0.0;
+  double mean_aggregate_utilization = 0.0;
+  std::vector<double> mean_flow_throughput_mbps;  ///< per flow, episode mean
+  std::vector<double> jain;                       ///< per segment
+};
+
+FairnessReplayResult replay_fairness_trace(
+    const std::vector<SenderFactory>& mix, const trace::Trace& t,
+    const cc::LinkSim::Params& link_params, double stagger_s,
+    std::uint64_t seed);
+
+/// Corpus variant, same determinism contract as replay_cc_traces.
+std::vector<FairnessReplayResult> replay_fairness_traces(
+    const std::vector<SenderFactory>& mix,
+    const std::vector<trace::Trace>& traces,
+    const cc::LinkSim::Params& link_params, double stagger_s,
+    std::uint64_t seed, util::ThreadPool* pool = nullptr);
 
 }  // namespace netadv::core

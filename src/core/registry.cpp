@@ -12,6 +12,7 @@
 #include "cc/vivace.hpp"
 #include "rl/checkpoint.hpp"
 #include "trace/generators.hpp"
+#include "util/spec.hpp"
 
 namespace netadv::core {
 
@@ -117,6 +118,15 @@ InfoRegistry build_adversary_kinds() {
   reg.add("cem", TargetDomain::kAbr,
           "cross-entropy trace search (Section 2.1's trace-based "
           "alternative); record-traces only — searching *is* recording");
+  reg.add("fairness", TargetDomain::kCc,
+          "RL fairness adversary over a flow mix (flows = a,b,...); paid "
+          "for unfairness it induces (reward = jain | victim)");
+  reg.add("cross-traffic", TargetDomain::kCc,
+          "fairness adversary plus an on/off bursty non-responsive "
+          "accomplice flow, burst schedule drawn per episode");
+  reg.add("late-join", TargetDomain::kCc,
+          "fairness adversary where the mix's last flow joins at a "
+          "randomized time, so the adversary can ambush the arrival");
   return reg;
 }
 
@@ -141,6 +151,22 @@ const Registry<trace::TraceGenerator>& trace_generators() {
 const InfoRegistry& adversary_kinds() {
   static const InfoRegistry registry = build_adversary_kinds();
   return registry;
+}
+
+std::vector<std::function<std::unique_ptr<cc::CcSender>()>> resolve_flow_mix(
+    const std::string& flows_csv) {
+  const std::vector<std::string> names = util::split_list(flows_csv);
+  if (names.size() < 2) {
+    throw std::runtime_error{"flow mix '" + flows_csv +
+                             "' needs at least two flows (e.g. flows = "
+                             "bbr,cubic)"};
+  }
+  std::vector<std::function<std::unique_ptr<cc::CcSender>()>> factories;
+  factories.reserve(names.size());
+  for (const auto& name : names) {
+    factories.push_back(cc_senders().factory(name));
+  }
+  return factories;
 }
 
 }  // namespace netadv::core

@@ -213,4 +213,11 @@ const Registry<cc::CcSender>& cc_senders();
 const Registry<trace::TraceGenerator>& trace_generators();
 const InfoRegistry& adversary_kinds();
 
+/// Resolve a flow-mix spec ("bbr,cubic" / "bbr,bbr,vivace") into per-flow
+/// sender factories via cc_senders(). The mix is what fairness adversaries
+/// attack, so it needs at least two flows; unknown names throw the
+/// registry's enumerating error.
+std::vector<std::function<std::unique_ptr<cc::CcSender>()>> resolve_flow_mix(
+    const std::string& flows_csv);
+
 }  // namespace netadv::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/fairness_adversary.hpp"
 #include "core/registry.hpp"
 #include "util/config.hpp"
 #include "util/hash.hpp"
@@ -61,10 +62,22 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
                                      const JobSpec& grid,
                                      std::vector<JobSpec>& out) {
   const std::string* protocols_csv = grid.find("protocols");
-  if (protocols_csv == nullptr) {
-    fail(spec, section.line, "grid '" + grid.id + "' needs protocols = ...");
+  const std::string* flow_mixes_csv = grid.find("flow_mixes");
+  if ((protocols_csv == nullptr) == (flow_mixes_csv == nullptr)) {
+    fail(spec, section.line,
+         "grid '" + grid.id +
+             "' needs exactly one of protocols = ... (single-target sweep) "
+             "or flow_mixes = ... (fairness sweep; '+'-joined sender names "
+             "per mix, e.g. bbr+cubic)");
   }
-  const std::vector<std::string> protocols = util::split_list(*protocols_csv);
+  const std::vector<std::string> protocols =
+      protocols_csv != nullptr ? util::split_list(*protocols_csv)
+                               : std::vector<std::string>{};
+  // A mix element like "bbr+cubic" becomes `flows = bbr,cubic` on every
+  // expanded job ('+' joins members because ',' separates list elements).
+  const std::vector<std::string> flow_mixes =
+      flow_mixes_csv != nullptr ? util::split_list(*flow_mixes_csv)
+                                : std::vector<std::string>{};
   const std::vector<std::string> adversaries =
       util::split_list(grid.value_or("adversaries", ""));
   const std::vector<std::string> trace_sets =
@@ -100,6 +113,38 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
                protocol + "' (" + targets.names() + ")");
     }
   }
+  if (!flow_mixes.empty() && domain != core::TargetDomain::kCc) {
+    fail(spec, section.line,
+         "grid '" + grid.id + "': flow_mixes needs domain = cc — a flow mix "
+         "is a set of cc senders sharing one bottleneck");
+  }
+  for (const auto& mix : flow_mixes) {
+    std::size_t members = 0;
+    std::string name;
+    const auto check = [&] {
+      ++members;
+      if (!core::cc_senders().contains(name)) {
+        fail(spec, section.line,
+             "grid '" + grid.id + "': flow mix '" + mix + "': unknown " +
+                 core::cc_senders().category() + " '" + name + "' (" +
+                 core::cc_senders().names() + ")");
+      }
+      name.clear();
+    };
+    for (const char c : mix) {
+      if (c == '+') {
+        check();
+      } else {
+        name += c;
+      }
+    }
+    check();
+    if (members < 2) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': flow mix '" + mix +
+               "' needs at least two '+'-joined flows (e.g. bbr+cubic)");
+    }
+  }
   for (const auto& adversary : adversaries) {
     const core::EntryInfo* info = core::adversary_kinds().info(adversary);
     if (info == nullptr) {
@@ -113,6 +158,20 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
                core::to_string(info->domain) +
                "-only, but the grid's domain is " + core::to_string(domain));
     }
+    const bool is_fairness =
+        core::fairness_scenario_for(adversary).has_value();
+    if (is_fairness && flow_mixes.empty()) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': adversary '" + adversary +
+               "' attacks a flow mix — use flow_mixes = ... instead of "
+               "protocols = ...");
+    }
+    if (!is_fairness && !flow_mixes.empty()) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': adversary '" + adversary +
+               "' attacks a single target — use protocols = ... instead of "
+               "flow_mixes = ...");
+    }
   }
 
   // Params forwarded verbatim to every expanded job (the sweep axes and the
@@ -120,7 +179,7 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
   std::vector<std::pair<std::string, std::string>> shared;
   for (const auto& [key, value] : grid.params) {
     if (key == "protocols" || key == "adversaries" || key == "seeds" ||
-        key == "trace_sets") {
+        key == "trace_sets" || key == "flow_mixes") {
       continue;
     }
     shared.emplace_back(key, value);
@@ -132,8 +191,17 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
     out.push_back(std::move(job));
   };
 
+  // "bbr+cubic" -> "bbr,cubic": the '+'-joined spec element as the job-level
+  // `flows =` list.
+  const auto mix_flows = [](const std::string& mix) {
+    std::string flows = mix;
+    std::replace(flows.begin(), flows.end(), '+', ',');
+    return flows;
+  };
+
   if (!trace_sets.empty()) {
-    // Replay sweep: protocols x trace_sets.
+    // Replay sweep: targets x trace_sets (a target is one protocol, or one
+    // whole flow mix replaying each trace together).
     for (const auto& protocol : protocols) {
       for (const auto& set : trace_sets) {
         JobSpec job;
@@ -145,6 +213,65 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
         job.params.emplace_back("protocol", protocol);
         job.params.emplace_back("traces", set);
         emit(std::move(job));
+      }
+    }
+    for (const auto& mix : flow_mixes) {
+      for (const auto& set : trace_sets) {
+        JobSpec job;
+        job.id = grid.id + "-" + mix + "-on-" + set;
+        job.kind = "replay";
+        job.after = grid.after;
+        job.after.push_back(set);
+        job.params = shared;
+        job.params.emplace_back("flows", mix_flows(mix));
+        job.params.emplace_back("traces", set);
+        emit(std::move(job));
+      }
+    }
+    return expanded_ids;
+  }
+
+  if (!flow_mixes.empty()) {
+    // Fairness attack sweep: flow_mixes x adversaries x seeds. Every
+    // fairness kind is PPO-trained, so each point is a train-adversary job
+    // feeding a record-traces job (mirroring the ppo branch below).
+    const std::vector<std::optional<std::uint64_t>> seed_axis =
+        seeds.empty()
+            ? std::vector<std::optional<std::uint64_t>>{std::nullopt}
+            : [&] {
+                std::vector<std::optional<std::uint64_t>> axis;
+                for (const auto s : seeds) axis.emplace_back(s);
+                return axis;
+              }();
+    for (const auto& mix : flow_mixes) {
+      for (const auto& adversary : adversaries) {
+        for (const auto& seed : seed_axis) {
+          const std::string tag =
+              seed.has_value() ? "-s" + std::to_string(*seed) : "";
+          const std::string point_id =
+              grid.id + "-" + mix + "-" + adversary + tag;
+          JobSpec train;
+          train.id = point_id + "-train";
+          train.kind = "train-adversary";
+          train.after = grid.after;
+          train.params = shared;
+          train.params.emplace_back("flows", mix_flows(mix));
+          train.params.emplace_back("adversary", adversary);
+          train.seed = seed;
+
+          JobSpec record;
+          record.id = point_id;
+          record.kind = "record-traces";
+          record.after = grid.after;
+          record.after.push_back(train.id);
+          record.params = shared;
+          record.params.emplace_back("flows", mix_flows(mix));
+          record.params.emplace_back("adversary", adversary);
+          record.params.emplace_back("from", train.id);
+          record.seed = seed;
+          emit(std::move(train));
+          emit(std::move(record));
+        }
       }
     }
     return expanded_ids;

@@ -15,6 +15,7 @@
 #include "core/abr_adversary.hpp"
 #include "core/cc_adversary.hpp"
 #include "core/cem_adversary.hpp"
+#include "core/fairness_adversary.hpp"
 #include "core/recorder.hpp"
 #include "core/registry.hpp"
 #include "core/trainer.hpp"
@@ -131,6 +132,89 @@ core::CcAdversaryEnv::Params cc_env_params(const JobContext& ctx) {
   return params;
 }
 
+/// Shared setup for the fairness-family adversary kinds (fairness,
+/// cross-traffic, late-join): flow mix from `flows =` (default bbr,bbr)
+/// resolved through the cc_senders registry, reward variant from
+/// `reward = jain | victim`, episode length from `duration =`.
+struct FairnessSetup {
+  core::FairnessAdversaryEnv::Params params;
+  std::vector<core::FairnessAdversaryEnv::SenderFactory> factories;
+  std::string mix_names;
+};
+
+FairnessSetup fairness_setup(const JobContext& ctx,
+                             core::FairnessAdversaryEnv::Scenario scenario) {
+  if (domain_param(ctx) != core::TargetDomain::kCc) {
+    job_fail(ctx, "fairness adversaries need domain = cc");
+  }
+  FairnessSetup setup;
+  setup.params.scenario = scenario;
+  setup.mix_names = ctx.job->value_or("flows", "bbr,bbr");
+  try {
+    setup.factories = core::resolve_flow_mix(setup.mix_names);
+    setup.params.reward =
+        core::parse_fairness_reward(ctx.job->value_or("reward", "jain"));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
+  }
+  setup.params.episode_duration_s =
+      double_param(ctx, "duration", setup.params.episode_duration_s);
+  if (setup.params.episode_duration_s <= 0.0) {
+    job_fail(ctx, "duration must be a positive number of episode seconds");
+  }
+  // Short test/smoke episodes must still see every flow start: shrink the
+  // stagger (and the late-join window) with the episode so the reward gate
+  // opens while there are epochs left to pay for.
+  setup.params.stagger_s = std::min(
+      setup.params.stagger_s,
+      setup.params.episode_duration_s /
+          (4.0 * static_cast<double>(setup.factories.size())));
+  setup.params.late_join_max_s =
+      std::min(setup.params.late_join_max_s,
+               setup.params.episode_duration_s / 3.0);
+  setup.params.late_join_min_s =
+      std::min(setup.params.late_join_min_s, setup.params.late_join_max_s);
+  return setup;
+}
+
+/// Per-episode fairness summary: per-flow mean throughput plus the two
+/// unfairness metrics, one row per recorded episode.
+void write_fairness_summary(
+    const std::vector<core::FairnessEpisodeRecord>& episodes,
+    std::size_t flow_count, const std::string& path, double* mean_jain,
+    double* mean_victim) {
+  util::CsvWriter writer{path};
+  std::vector<std::string> header{"episode"};
+  for (std::size_t f = 0; f < flow_count; ++f) {
+    header.push_back("flow" + std::to_string(f) + "_mbps");
+  }
+  header.emplace_back("jain");
+  header.emplace_back("victim_utilization");
+  header.emplace_back("aggregate_utilization");
+  writer.write_row(header);
+  double jain_total = 0.0;
+  double victim_total = 0.0;
+  for (std::size_t i = 0; i < episodes.size(); ++i) {
+    const core::FairnessEpisodeRecord& e = episodes[i];
+    std::vector<double> row{static_cast<double>(i)};
+    for (std::size_t f = 0; f < flow_count; ++f) {
+      row.push_back(f < e.flow_throughput_mbps.size()
+                        ? util::mean(e.flow_throughput_mbps[f])
+                        : 0.0);
+    }
+    row.push_back(e.mean_jain);
+    row.push_back(e.mean_victim_utilization);
+    row.push_back(e.mean_aggregate_utilization);
+    writer.write_row(row);
+    jain_total += e.mean_jain;
+    victim_total += e.mean_victim_utilization;
+  }
+  const double n =
+      episodes.empty() ? 1.0 : static_cast<double>(episodes.size());
+  *mean_jain = jain_total / n;
+  *mean_victim = victim_total / n;
+}
+
 /// Per-trace regret summary shared by both ABR record-traces paths.
 void write_summary(const abr::VideoManifest& manifest,
                    const core::ProtocolFactory& make_target,
@@ -189,8 +273,24 @@ JobResult run_gen_traces(const JobContext& ctx) {
 
 JobResult run_train_adversary(const JobContext& ctx) {
   const std::string adversary = ctx.job->value_or("adversary", "ppo");
+  if (const auto scenario = core::fairness_scenario_for(adversary)) {
+    const FairnessSetup setup = fairness_setup(ctx, *scenario);
+    const std::size_t steps =
+        util::scaled_steps(size_param(ctx, "steps", 80000), 256);
+    core::FairnessAdversaryEnv env{setup.params, setup.factories};
+    rl::PpoAgent agent = core::train_adversary(
+        env, core::cc_adversary_ppo_config(), steps, ctx.seed, nullptr,
+        ctx.pool);
+    JobResult result;
+    result.artifacts.push_back(ctx.artifact("_adversary.ckpt"));
+    rl::save_checkpoint(agent, result.artifacts.back());
+    result.note = "PPO " + adversary + " adversary vs " + setup.mix_names +
+                  ", " + std::to_string(steps) + " steps";
+    return result;
+  }
   if (adversary != "ppo") {
-    job_fail(ctx, "train-adversary supports adversary = ppo only; CEM is "
+    job_fail(ctx, "train-adversary supports adversary = ppo or a fairness "
+                  "kind (fairness | cross-traffic | late-join); CEM is "
                   "trace-based — use record-traces with adversary = cem");
   }
   const core::TargetDomain domain = domain_param(ctx);
@@ -240,6 +340,39 @@ JobResult run_record_traces(const JobContext& ctx) {
                       core::adversary_kinds().names() + ")");
   }
   const std::size_t count = scaled_count(size_param(ctx, "count", 20));
+
+  if (const auto scenario = core::fairness_scenario_for(adversary)) {
+    const FairnessSetup setup = fairness_setup(ctx, *scenario);
+    const std::string checkpoint = adversary_checkpoint(ctx);
+    core::FairnessAdversaryEnv env{setup.params, setup.factories};
+    rl::PpoAgent agent{env.observation_size(), env.action_spec(),
+                       core::cc_adversary_ppo_config(), /*seed=*/0};
+    rl::load_checkpoint(agent, checkpoint);
+    const std::vector<core::FairnessEpisodeRecord> episodes =
+        core::record_fairness_episodes(agent, setup.params, setup.factories,
+                                       count, ctx.seed,
+                                       /*deterministic=*/false, ctx.pool);
+    std::vector<trace::Trace> traces;
+    traces.reserve(episodes.size());
+    for (const core::FairnessEpisodeRecord& episode : episodes) {
+      traces.push_back(episode.trace);
+    }
+    JobResult result;
+    result.artifacts.push_back(ctx.artifact("_traces.csv"));
+    trace::save_trace_set(traces, result.artifacts.back());
+    result.artifacts.push_back(ctx.artifact("_summary.csv"));
+    double mean_jain = 1.0;
+    double mean_victim = 0.0;
+    write_fairness_summary(episodes, setup.factories.size(),
+                           result.artifacts.back(), &mean_jain, &mean_victim);
+    char note[160];
+    std::snprintf(note, sizeof note,
+                  "%zu %s episodes vs %s, mean Jain %.3f, victim util %.1f%%",
+                  episodes.size(), adversary.c_str(),
+                  setup.mix_names.c_str(), mean_jain, 100.0 * mean_victim);
+    result.note = note;
+    return result;
+  }
 
   if (domain == core::TargetDomain::kCc) {
     if (adversary != "ppo") {
@@ -342,6 +475,50 @@ JobResult run_replay(const JobContext& ctx) {
     job_fail(ctx, "replay needs traces = <trace-set job> or trace_file = ...");
   }
   const std::vector<trace::Trace> traces = trace::load_trace_set(set_path);
+
+  // `flows = a,b,...` switches the CC replay to the shared-bottleneck
+  // multi-flow path: the whole mix replays each trace together.
+  if (domain == core::TargetDomain::kCc && ctx.job->find("flows") != nullptr) {
+    std::vector<core::SenderFactory> mix;
+    try {
+      mix = core::resolve_flow_mix(*ctx.job->find("flows"));
+    } catch (const std::exception& e) {
+      job_fail(ctx, e.what());
+    }
+    const double stagger_s = double_param(ctx, "stagger", 0.5);
+    const std::vector<core::FairnessReplayResult> replays =
+        core::replay_fairness_traces(mix, traces, {}, stagger_s, ctx.seed,
+                                     ctx.pool);
+    JobResult result;
+    result.artifacts.push_back(ctx.artifact("_replay.csv"));
+    util::CsvWriter writer{result.artifacts.back()};
+    std::vector<std::string> header{"trace"};
+    for (std::size_t f = 0; f < mix.size(); ++f) {
+      header.push_back("flow" + std::to_string(f) + "_mbps");
+    }
+    header.emplace_back("jain");
+    header.emplace_back("victim_utilization");
+    header.emplace_back("aggregate_utilization");
+    writer.write_row(header);
+    double jain_total = 0.0;
+    for (std::size_t i = 0; i < replays.size(); ++i) {
+      std::vector<double> row{static_cast<double>(i)};
+      for (double v : replays[i].mean_flow_throughput_mbps) row.push_back(v);
+      row.push_back(replays[i].mean_jain);
+      row.push_back(replays[i].mean_victim_utilization);
+      row.push_back(replays[i].mean_aggregate_utilization);
+      writer.write_row(row);
+      jain_total += replays[i].mean_jain;
+    }
+    char note[128];
+    std::snprintf(
+        note, sizeof note, "%zu multi-flow replays, mean Jain %.3f",
+        replays.size(),
+        replays.empty() ? 1.0
+                        : jain_total / static_cast<double>(replays.size()));
+    result.note = note;
+    return result;
+  }
 
   if (domain == core::TargetDomain::kCc) {
     const core::SenderFactory make_sender = cc_target_factory(ctx);
@@ -489,8 +666,8 @@ JobRegistry builtin_jobs() {
                "synthesize a trace corpus (generator =, count =)",
                run_gen_traces);
   registry.add("train-adversary",
-               "train a PPO adversary against a protocol/sender "
-               "(domain =, protocol =, steps =)",
+               "train a PPO adversary against a protocol/sender or a flow "
+               "mix (domain =, protocol =/flows =, steps =)",
                run_train_adversary);
   registry.add("record-traces",
                "roll a trained adversary out (or CEM-search) into a "

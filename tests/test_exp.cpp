@@ -572,4 +572,163 @@ TEST(BuiltinJobs, CcCampaignArtifactsAreIdenticalAcrossThreadCounts) {
   }
 }
 
+// ------------------------------------------------- fairness campaigns
+
+TEST(Campaign, GridExpandsFlowMixFairnessSweeps) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job sweep]\nkind = grid\ndomain = cc\n"
+      "flow_mixes = bbr+cubic, bbr+bbr\n"
+      "adversaries = fairness, late-join\nseeds = 1\ncount = 4\n");
+  // 2 mixes x 2 fairness kinds x (train + record) x 1 seed.
+  ASSERT_EQ(c.jobs.size(), 8u);
+  const std::size_t train = c.job_index("sweep-bbr+cubic-fairness-s1-train");
+  const std::size_t record = c.job_index("sweep-bbr+cubic-fairness-s1");
+  const std::size_t late = c.job_index("sweep-bbr+bbr-late-join-s1");
+  ASSERT_NE(train, static_cast<std::size_t>(-1));
+  ASSERT_NE(record, static_cast<std::size_t>(-1));
+  ASSERT_NE(late, static_cast<std::size_t>(-1));
+  EXPECT_EQ(c.jobs[train].kind, "train-adversary");
+  // The '+'-joined mix element becomes the job-level flows list, and the
+  // scenario kind rides along as `adversary =`.
+  EXPECT_EQ(c.jobs[train].value_or("flows", ""), "bbr,cubic");
+  EXPECT_EQ(c.jobs[train].value_or("adversary", ""), "fairness");
+  EXPECT_EQ(c.jobs[record].value_or("from", ""),
+            "sweep-bbr+cubic-fairness-s1-train");
+  EXPECT_EQ(c.jobs[late].value_or("adversary", ""), "late-join");
+  // Shared params forward to every point.
+  EXPECT_EQ(c.jobs[record].value_or("count", ""), "4");
+}
+
+TEST(Campaign, GridValidatesFlowMixesAtLoadTime) {
+  // Unknown mix member fails with the sender registry's enumerating error.
+  try {
+    campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                  "[job g]\nkind = grid\ndomain = cc\n"
+                  "flow_mixes = bbr+warp\nadversaries = fairness\n");
+    FAIL() << "unknown mix member must fail at load time";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown sender 'warp'"), std::string::npos) << what;
+    EXPECT_NE(what.find("bbr | cubic | copa | vivace | reno"),
+              std::string::npos)
+        << what;
+  }
+  // A mix needs at least two flows.
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                             "[job g]\nkind = grid\ndomain = cc\n"
+                             "flow_mixes = bbr\nadversaries = fairness\n"),
+               std::runtime_error);
+  // flow_mixes is a cc concept.
+  EXPECT_THROW(campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                             "[job g]\nkind = grid\n"
+                             "flow_mixes = bbr+cubic\nadversaries = ppo\n"),
+               std::runtime_error);
+  // Fairness kinds attack mixes, ppo attacks single targets: each axis
+  // rejects the other family.
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                    "[job g]\nkind = grid\ndomain = cc\n"
+                    "flow_mixes = bbr+cubic\nadversaries = ppo\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                    "[job g]\nkind = grid\ndomain = cc\n"
+                    "protocols = bbr\nadversaries = fairness\n"),
+      std::runtime_error);
+  // protocols and flow_mixes are mutually exclusive target axes.
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                    "[job g]\nkind = grid\ndomain = cc\nprotocols = bbr\n"
+                    "flow_mixes = bbr+cubic\nadversaries = fairness\n"),
+      std::runtime_error);
+}
+
+/// The full fairness pipeline: train a fairness adversary on a bbr+cubic
+/// mix, record episodes through its checkpoint, replay the recorded link
+/// schedules against a different mix. `duration = 2` bounds work.
+std::string fairness_pipeline_spec(const std::string& dir) {
+  return "[campaign]\nname = fairness-e2e\nseed = 43\nout_dir = " + dir +
+         "\n"
+         "[job train]\nkind = train-adversary\ndomain = cc\n"
+         "adversary = fairness\nflows = bbr,cubic\nsteps = 256\n"
+         "duration = 2\n"
+         "[job rec]\nkind = record-traces\nafter = train\nfrom = train\n"
+         "domain = cc\nadversary = fairness\nflows = bbr,cubic\n"
+         "count = 2\nduration = 2\n"
+         "[job rep]\nkind = replay\nafter = rec\ntraces = rec\n"
+         "domain = cc\nflows = bbr,bbr\n";
+}
+
+TEST(BuiltinJobs, FairnessCampaignRunsEndToEnd) {
+  const std::string dir = temp_dir("netadv_builtin_fair");
+  const exp::CampaignReport report = exp::run_campaign(
+      campaign_from(fairness_pipeline_spec(dir)), exp::builtin_jobs());
+  ASSERT_TRUE(report.ok());
+  const std::vector<trace::Trace> traces =
+      trace::load_trace_set(dir + "/rec_traces.csv");
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_GE(traces[0].size(), 50u);
+  // Summaries carry per-flow throughput plus both unfairness metrics.
+  EXPECT_NE(
+      read_file(dir + "/rec_summary.csv")
+          .find("episode,flow0_mbps,flow1_mbps,jain,victim_utilization,"
+                "aggregate_utilization"),
+      std::string::npos);
+  EXPECT_NE(
+      read_file(dir + "/rep_replay.csv")
+          .find("trace,flow0_mbps,flow1_mbps,jain,victim_utilization,"
+                "aggregate_utilization"),
+      std::string::npos);
+}
+
+TEST(BuiltinJobs, FairnessJobsFailWithEnumeratingErrors) {
+  const std::string dir = temp_dir("netadv_builtin_fair_err");
+  // Unknown flow-mix member surfaces the cc_senders registry error.
+  const exp::CampaignReport report = exp::run_campaign(
+      campaign_from("[campaign]\nname = bad-mix\nout_dir = " + dir + "\n"
+                    "[job train]\nkind = train-adversary\ndomain = cc\n"
+                    "adversary = fairness\nflows = bbr,warp\nsteps = 256\n"
+                    "duration = 2\n"),
+      exp::builtin_jobs());
+  EXPECT_FALSE(report.ok());
+  const std::string& error = report.outcome_of("train").error;
+  EXPECT_NE(error.find("unknown sender 'warp'"), std::string::npos) << error;
+  EXPECT_NE(error.find("bbr | cubic | copa | vivace | reno"),
+            std::string::npos)
+      << error;
+  // A bad reward spelling names the valid ones.
+  const exp::CampaignReport bad_reward = exp::run_campaign(
+      campaign_from("[campaign]\nname = bad-reward\nout_dir = " + dir +
+                    "2\n"
+                    "[job train]\nkind = train-adversary\ndomain = cc\n"
+                    "adversary = fairness\nflows = bbr,bbr\n"
+                    "reward = nope\nsteps = 256\nduration = 2\n"),
+      exp::builtin_jobs());
+  EXPECT_FALSE(bad_reward.ok());
+  EXPECT_NE(bad_reward.outcome_of("train").error.find("jain | victim"),
+            std::string::npos)
+      << bad_reward.outcome_of("train").error;
+}
+
+TEST(BuiltinJobs, FairnessCampaignArtifactsAreIdenticalAcrossThreadCounts) {
+  const std::string base = temp_dir("netadv_builtin_fair_t1");
+  exp::run_campaign(campaign_from(fairness_pipeline_spec(base)),
+                    exp::builtin_jobs());
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::string dir =
+        temp_dir("netadv_builtin_fair_t" + std::to_string(threads));
+    util::ThreadPool pool{threads};
+    exp::SchedulerOptions options;
+    options.pool = &pool;
+    exp::run_campaign(campaign_from(fairness_pipeline_spec(dir)),
+                      exp::builtin_jobs(), options);
+    for (const char* name : {"train_adversary.ckpt", "rec_traces.csv",
+                             "rec_summary.csv", "rep_replay.csv"}) {
+      EXPECT_EQ(read_file(base + "/" + name), read_file(dir + "/" + name))
+          << name << " differs at " << threads << " threads";
+    }
+  }
+}
+
 }  // namespace

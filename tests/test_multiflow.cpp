@@ -3,6 +3,9 @@
 // arrivals, and Jain's fairness index.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <utility>
+
 #include "cc/bbr.hpp"
 #include "cc/cubic.hpp"
 #include "cc/multiflow.hpp"
@@ -22,8 +25,15 @@ TEST(JainIndex, KnownValues) {
   EXPECT_DOUBLE_EQ(jain_fairness_index({5.0, 5.0}), 1.0);
   EXPECT_NEAR(jain_fairness_index({10.0, 0.0}), 0.5, 1e-12);
   EXPECT_NEAR(jain_fairness_index({1.0, 1.0, 1.0, 1.0}), 1.0, 1e-12);
-  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 0.0);
-  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 0.0);
+}
+
+TEST(JainIndex, AllStarvedIsTriviallyFairNotMaximallyUnfair) {
+  // Every flow at zero is *equal* sharing; scoring it 0 would pay a
+  // fairness adversary `1 - jain = 1` for starving everyone — the exact
+  // failure mode the loss penalty exists to prevent.
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({0.0, 0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index({}), 1.0);
 }
 
 TEST(MultiFlow, PerFlowConservation) {
@@ -142,6 +152,120 @@ TEST(MultiFlow, RunUntilPastThrows) {
   MultiFlowRunner runner{{&a}, shared_link(), 37};
   runner.run_until(1.0);
   EXPECT_THROW(runner.run_until(0.5), std::invalid_argument);
+}
+
+TEST(MultiFlow, AggregateUtilizationBelowOneWithoutTheClamp) {
+  // Recompute delivered / capacity by hand: the invariant must hold from
+  // the event model itself, not from the std::min in the accessor.
+  BbrSender a;
+  BbrSender b;
+  CubicSender c;
+  MultiFlowRunner runner{{&a, &b, &c}, shared_link(), 43};
+  runner.run_until(20.0);
+  const auto interval = runner.collect();
+  ASSERT_GT(interval.capacity_bits, 0.0);
+  double delivered = 0.0;
+  for (const auto& f : interval.flows) delivered += f.delivered_bits;
+  EXPECT_LE(delivered / interval.capacity_bits, 1.0 + 1e-9);
+}
+
+TEST(MultiFlow, CollectResetsTheAccumulators) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 47};
+  runner.run_until(5.0);
+  const auto first = runner.collect();
+  ASSERT_GT(first.flows[0].packets_sent, 0u);
+
+  // Nothing has happened since: every counter must restart from zero.
+  const auto empty = runner.collect();
+  EXPECT_DOUBLE_EQ(empty.duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(empty.capacity_bits, 0.0);
+  for (const auto& f : empty.flows) {
+    EXPECT_EQ(f.packets_sent, 0u);
+    EXPECT_EQ(f.packets_delivered, 0u);
+    EXPECT_EQ(f.packets_lost, 0u);
+    EXPECT_DOUBLE_EQ(f.delivered_bits, 0.0);
+  }
+
+  // And the next real interval counts only its own packets.
+  runner.run_until(10.0);
+  const auto second = runner.collect();
+  EXPECT_EQ(second.flows[0].packets_sent + second.flows[1].packets_sent,
+            runner.total_sent(0) + runner.total_sent(1) -
+                (first.flows[0].packets_sent + first.flows[1].packets_sent));
+}
+
+TEST(MultiFlow, IdenticalRunsAreBitIdentical) {
+  // Event/send tie-breaking must be deterministic: two runners built the
+  // same way must agree on every counter and every interval stat.
+  const auto run = [] {
+    BbrSender a;
+    CubicSender b;
+    RenoSender c;
+    MultiFlowRunner runner{{&a, &b, &c}, shared_link(), 53, {0.0, 1.0, 2.0}};
+    runner.run_until(6.0);
+    runner.set_conditions({8.0, 40.0, 0.01});
+    runner.run_until(12.0);
+    return std::make_pair(runner.collect(),
+                          std::array<std::uint64_t, 3>{runner.total_sent(0),
+                                                       runner.total_sent(1),
+                                                       runner.total_sent(2)});
+  };
+  const auto [interval1, sent1] = run();
+  const auto [interval2, sent2] = run();
+  EXPECT_EQ(sent1, sent2);
+  ASSERT_EQ(interval1.flows.size(), interval2.flows.size());
+  EXPECT_EQ(interval1.capacity_bits, interval2.capacity_bits);
+  for (std::size_t f = 0; f < interval1.flows.size(); ++f) {
+    EXPECT_EQ(interval1.flows[f].packets_sent, interval2.flows[f].packets_sent);
+    EXPECT_EQ(interval1.flows[f].packets_delivered,
+              interval2.flows[f].packets_delivered);
+    EXPECT_EQ(interval1.flows[f].packets_lost, interval2.flows[f].packets_lost);
+    EXPECT_EQ(interval1.flows[f].delivered_bits,
+              interval2.flows[f].delivered_bits);
+    EXPECT_EQ(interval1.flows[f].mean_rtt_s, interval2.flows[f].mean_rtt_s);
+  }
+}
+
+TEST(MultiFlow, DeliveryFreeIntervalCarriesThePreviousMeanRtt) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(), 59};
+  runner.run_until(5.0);
+  const auto healthy = runner.collect();
+  ASSERT_GT(healthy.flows[0].packets_delivered, 0u);
+  ASSERT_GT(healthy.flows[0].mean_rtt_s, 0.0);
+
+  // Full loss: once the in-flight packets drain (loss applies at transmit,
+  // so already-queued packets still deliver), nothing is delivered and
+  // there is no RTT sample to average — the stat must carry the previous
+  // interval's mean, never report 0 ms (a 0-RTT sample would poison latency
+  // EWMAs downstream).
+  runner.set_conditions({12.0, 30.0, 1.0});
+  runner.run_until(10.0);
+  const auto draining = runner.collect();  // leftover in-flight deliveries
+  runner.run_until(15.0);
+  const auto starved = runner.collect();
+  for (std::size_t f = 0; f < 2; ++f) {
+    EXPECT_EQ(starved.flows[f].packets_delivered, 0u);
+    const double carried = draining.flows[f].packets_delivered > 0
+                               ? draining.flows[f].mean_rtt_s
+                               : healthy.flows[f].mean_rtt_s;
+    EXPECT_GT(starved.flows[f].mean_rtt_s, 0.0);
+    EXPECT_DOUBLE_EQ(starved.flows[f].mean_rtt_s, carried);
+  }
+}
+
+TEST(MultiFlow, NeverStartedFlowReportsTheBaseRttNotZero) {
+  CubicSender a;
+  CubicSender b;
+  MultiFlowRunner runner{{&a, &b}, shared_link(12.0, 30.0), 61, {0.0, 100.0}};
+  runner.run_until(5.0);
+  const auto interval = runner.collect();
+  EXPECT_EQ(interval.flows[1].packets_delivered, 0u);
+  // 2 x one-way delay = the link's base RTT.
+  EXPECT_DOUBLE_EQ(interval.flows[1].mean_rtt_s, 0.060);
 }
 
 TEST(MultiFlow, SingleFlowMatchesSoloBehaviour) {

@@ -42,7 +42,8 @@ TEST(Registry, LiveRegistriesServeTheExpectedEntries) {
             "bb | bola | mpc | throughput | pensieve");
   EXPECT_EQ(core::cc_senders().names(), "bbr | cubic | copa | vivace | reno");
   EXPECT_EQ(core::trace_generators().names("|"), "fcc|3g|random");
-  EXPECT_EQ(core::adversary_kinds().names(), "ppo | cem");
+  EXPECT_EQ(core::adversary_kinds().names(),
+            "ppo | cem | fairness | cross-traffic | late-join");
 
   // Constructed objects self-identify (names the CSV/summary layer prints).
   EXPECT_EQ(core::abr_protocols().make("mpc")->name(), "mpc");
@@ -59,6 +60,34 @@ TEST(Registry, LiveRegistriesServeTheExpectedEntries) {
   EXPECT_EQ(core::adversary_kinds().info("cem")->domain,
             core::TargetDomain::kAbr);
   EXPECT_FALSE(core::adversary_kinds().info("cem")->description.empty());
+  for (const char* kind : {"fairness", "cross-traffic", "late-join"}) {
+    ASSERT_NE(core::adversary_kinds().info(kind), nullptr) << kind;
+    EXPECT_EQ(core::adversary_kinds().info(kind)->domain,
+              core::TargetDomain::kCc);
+    EXPECT_FALSE(core::adversary_kinds().info(kind)->description.empty());
+  }
+}
+
+TEST(Registry, ResolveFlowMixBuildsPerFlowFactories) {
+  const auto mix = core::resolve_flow_mix("bbr,cubic,vivace");
+  ASSERT_EQ(mix.size(), 3u);
+  EXPECT_EQ(mix[0]()->name(), "bbr");
+  EXPECT_EQ(mix[1]()->name(), "cubic");
+  EXPECT_EQ(mix[2]()->name(), "vivace");
+
+  // Unknown members fail with the cc_senders registry's enumerating error.
+  try {
+    core::resolve_flow_mix("bbr,nope");
+    FAIL() << "expected resolve_flow_mix to throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown sender 'nope'"), std::string::npos) << what;
+    EXPECT_NE(what.find("bbr | cubic | copa | vivace"), std::string::npos)
+        << what;
+  }
+  // A mix of one is not a mix: fairness needs contention.
+  EXPECT_THROW(core::resolve_flow_mix("bbr"), std::runtime_error);
+  EXPECT_THROW(core::resolve_flow_mix(""), std::runtime_error);
 }
 
 TEST(Registry, UnknownNamesReturnNullOrThrowEnumeratingTheRegistry) {
