@@ -34,3 +34,4 @@ netadv_add_bench(bench_micro)
 netadv_add_bench(bench_ext_new_targets)
 netadv_add_bench(bench_ablation_seeds)
 netadv_add_bench(bench_ext_fairness)
+netadv_add_bench(bench_serve)

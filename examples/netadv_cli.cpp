@@ -1,11 +1,13 @@
 // netadv_cli — command-line front end to the adversarial framework:
 //
-//   netadv_cli list [protocols|senders|generators|adversaries|jobs]
+//   netadv_cli list [protocols|senders|generators|adversaries|qoe|jobs]
 //                                                             print registries
 //   netadv_cli gen   <generator> <count> <out_prefix>         generate traces
 //   netadv_cli eval  <protocol> <trace.csv>                   replay a protocol
 //   netadv_cli attack <protocol> <steps> <count> <out_prefix> train + record
 //   netadv_cli cc    <sender> <trace.csv>                     replay a CC flow
+//   netadv_cli serve <protocol> <qoe> <sessions> <trace.csv>  concurrent
+//                    [<out.csv>]                              session serving
 //   netadv_cli mm-export <trace.csv> <out.mm>                 Mahimahi export
 //   netadv_cli campaign <spec> [--resume] [--dry-run]         run a campaign
 //   netadv_cli campaign <spec> --worker                       join as a worker
@@ -51,10 +53,12 @@
 #include "exp/spool.hpp"
 #include "rl/kernels.hpp"
 #include "rl/mlp.hpp"
+#include "serve/engine.hpp"
 #include "trace/generators.hpp"
 #include "trace/mahimahi.hpp"
 #include "trace/trace.hpp"
 #include "util/log.hpp"
+#include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace netadv;
@@ -65,20 +69,22 @@ int usage() {
   const std::string generators = core::trace_generators().names("|");
   const std::string protocols = core::abr_protocols().names("|");
   const std::string senders = core::cc_senders().names("|");
+  const std::string qoe = core::qoe_models().names("|");
   std::fprintf(
       stderr,
       "usage:\n"
-      "  netadv_cli list [protocols|senders|generators|adversaries|jobs]\n"
+      "  netadv_cli list [protocols|senders|generators|adversaries|qoe|jobs]\n"
       "  netadv_cli gen <%s> <count> <out_prefix>\n"
       "  netadv_cli eval <%s> <trace.csv>\n"
       "  netadv_cli attack <%s> <steps> <count> <out_prefix>\n"
       "  netadv_cli cc <%s> <trace.csv>\n"
+      "  netadv_cli serve <%s> <%s> <sessions> <trace.csv> [<out.csv>]\n"
       "  netadv_cli mm-export <trace.csv> <out.mm>\n"
       "  netadv_cli campaign <spec> [--resume] [--dry-run] [--worker]\n"
       "      [--spawn-workers N] [--lease <seconds>] [--poll-ms <ms>]\n"
       "  netadv_cli info\n",
       generators.c_str(), protocols.c_str(), protocols.c_str(),
-      senders.c_str());
+      senders.c_str(), protocols.c_str(), qoe.c_str());
   return 2;
 }
 
@@ -119,7 +125,7 @@ int cmd_list(const std::vector<std::string>& args) {
   const std::vector<std::string> categories =
       args.empty()
           ? std::vector<std::string>{"protocols", "senders", "generators",
-                                     "adversaries", "jobs"}
+                                     "adversaries", "qoe", "jobs"}
           : args;
   for (const std::string& category : categories) {
     if (category == "protocols") {
@@ -130,6 +136,8 @@ int cmd_list(const std::vector<std::string>& args) {
       print_registry("trace generators", core::trace_generators());
     } else if (category == "adversaries") {
       print_registry("adversary kinds", core::adversary_kinds());
+    } else if (category == "qoe") {
+      print_registry("QoE models", core::qoe_models());
     } else if (category == "jobs") {
       print_jobs();
     } else {
@@ -215,6 +223,47 @@ int cmd_cc(const std::vector<std::string>& args) {
   std::printf("  mean throughput  %8.2f Mbps\n", result.mean_throughput_mbps);
   std::printf("  mean utilization %8.1f %%\n",
               100.0 * result.mean_utilization);
+  return 0;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  if (args.size() != 4 && args.size() != 5) return usage();
+  if (!core::abr_protocols().contains(args[0])) return usage();
+  if (!core::qoe_models().contains(args[1])) return usage();
+  // Resolve both names up front; `serve pensieve` without a checkpoint
+  // throws from the factory at session setup (runtime error, exit 1).
+  const core::ProtocolFactory make_target =
+      core::abr_protocols().factory(args[0]);
+  const std::unique_ptr<abr::QoeModel> qoe = core::qoe_models().make(args[1]);
+  const auto sessions = static_cast<std::size_t>(std::stoul(args[2]));
+
+  serve::SessionEngine engine{abr::VideoManifest{},
+                              {trace::load_trace(args[3])}};
+  serve::ServeStats stats;
+  const std::vector<serve::SessionSummary> summaries = engine.run(
+      make_target, *qoe, sessions, &util::ThreadPool::global(), &stats);
+
+  double qoe_total = 0.0;
+  double rebuffer_total = 0.0;
+  for (const serve::SessionSummary& s : summaries) {
+    qoe_total += s.qoe;
+    rebuffer_total += s.rebuffer_s;
+  }
+  const double n = static_cast<double>(summaries.size());
+  std::printf("%s x %zu sessions on %s (qoe = %s):\n", args[0].c_str(),
+              summaries.size(), args[3].c_str(), qoe->name().c_str());
+  std::printf("  mean QoE        %10.2f\n", qoe_total / n);
+  std::printf("  mean rebuffer   %10.2f s\n", rebuffer_total / n);
+  std::printf("  sessions/s      %10.0f\n", stats.sessions_per_s());
+  std::printf("  decisions/s     %10.0f\n", stats.decisions_per_s());
+  std::printf("  decision p50    %10.1f us\n",
+              1e6 * util::percentile(stats.decision_latency_s, 50));
+  std::printf("  decision p99    %10.1f us\n",
+              1e6 * util::percentile(stats.decision_latency_s, 99));
+  if (args.size() == 5) {
+    serve::save_session_summaries(summaries, args[4]);
+    std::printf("wrote %s\n", args[4].c_str());
+  }
   return 0;
 }
 
@@ -429,6 +478,7 @@ int main(int argc, char** argv) {
     if (cmd == "eval") return cmd_eval(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "cc") return cmd_cc(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "mm-export") return cmd_mm_export(args);
     if (cmd == "campaign") return cmd_campaign(argv[0], args);
     if (cmd == "info") return cmd_info(args);

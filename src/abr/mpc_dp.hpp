@@ -1,0 +1,67 @@
+// mpc-dp — puffer-style model-predictive control by value iteration over a
+// discretized buffer grid (Yan et al., NSDI 2020), optimizing a pluggable
+// QoeModel instead of QoE_lin only.
+//
+// Where RobustMpc (mpc.hpp) enumerates every quality sequence over the
+// horizon (Q^H plans), mpc-dp solves the same lookahead as a backward
+// dynamic program over (depth, discretized buffer level, previous quality):
+// cost per decision is H * levels * Q^2 instead of Q^H, so deeper horizons
+// and bigger ladders stay cheap — the per-decision budget that matters when
+// one process serves thousands of sessions (serve::SessionEngine).
+//
+// The throughput predictor is RobustMpc's: harmonic mean of the last
+// `throughput_window` samples, discounted by the window's maximum relative
+// prediction error.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "abr/protocol.hpp"
+#include "abr/qoe_model.hpp"
+
+namespace netadv::abr {
+
+class MpcDp final : public AbrProtocol {
+ public:
+  struct Params {
+    std::size_t horizon = 5;            ///< lookahead chunks
+    std::size_t buffer_levels = 100;    ///< buffer discretization grid
+    std::size_t throughput_window = 5;  ///< harmonic-mean window
+    bool robust = true;                 ///< discount by past prediction error
+    double max_buffer_s = 60.0;
+  };
+
+  /// Default: QoE_lin, so `mpc-dp` is directly comparable to `mpc`.
+  MpcDp() : MpcDp(Params{}, std::make_unique<LinQoe>()) {}
+  MpcDp(Params params, std::unique_ptr<QoeModel> qoe);
+
+  std::string name() const override { return "mpc-dp"; }
+  void begin_video(const VideoManifest& manifest) override;
+  std::size_t choose_quality(const AbrObservation& observation) override;
+
+  /// The throughput estimate (Mbps) the planner would use now; exposed for
+  /// tests and diagnostics, like RobustMpc's.
+  double predicted_throughput_mbps(const AbrObservation& observation) const;
+
+  const QoeModel& qoe() const noexcept { return *qoe_; }
+
+ private:
+  double level_buffer(std::size_t level) const;
+  std::size_t buffer_level(double buffer_s) const;
+
+  Params params_;
+  std::unique_ptr<QoeModel> qoe_;
+  const VideoManifest* manifest_ = nullptr;
+  // Rolling relative prediction errors for the robust discount.
+  std::deque<double> past_errors_;
+  double last_prediction_mbps_ = 0.0;
+  bool has_prediction_ = false;
+  // Value-iteration planes, reused across decisions to avoid per-call
+  // allocation on the serving hot path.
+  std::vector<double> value_, next_value_;
+};
+
+}  // namespace netadv::abr

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace netadv::abr {
 
@@ -14,7 +15,11 @@ double chunk_qoe(double bitrate_mbps, double rebuffer_s,
 double total_qoe(std::span<const double> bitrates_mbps,
                  std::span<const double> rebuffer_s, const QoeParams& params) {
   if (bitrates_mbps.empty() || bitrates_mbps.size() != rebuffer_s.size()) {
-    throw std::invalid_argument{"total_qoe: bad spans"};
+    throw std::invalid_argument{
+        "total_qoe: bitrate/rebuffer spans must be non-empty and equal size "
+        "(got " +
+        std::to_string(bitrates_mbps.size()) + " bitrates, " +
+        std::to_string(rebuffer_s.size()) + " rebuffer entries)"};
   }
   double qoe = 0.0;
   for (std::size_t i = 0; i < bitrates_mbps.size(); ++i) {

@@ -1,0 +1,176 @@
+// Pluggable QoE models — the seam that lets every protocol and campaign be
+// scored under more than QoE_lin (qoe.hpp). Three models ship, mirroring the
+// metrics the ABR literature actually optimizes:
+//
+//   lin   QoE_lin: bitrate (Mbps) quality term, the paper's metric
+//   log   QoE_log: log(R / R_min) quality term (MPC's concave variant —
+//         doubling a high bitrate matters less than doubling a low one)
+//   ssim  per-chunk SSIM-in-dB table (puffer's metric): quality is a
+//         property of the *encoded chunk*, not the nominal bitrate, loaded
+//         from a CSV (or synthesized deterministically from chunk sizes)
+//
+// Every model scores a playback the same structural way QoE_lin does:
+//
+//   sum_i  q(i, quality_i) - rebuffer_penalty * T_i
+//          - smoothness_penalty * |q(i, quality_i) - q(i-1, quality_{i-1})|
+//
+// so models differ only in the per-chunk quality term q(i, quality) and the
+// penalty weights. `mpc-dp` (mpc_dp.hpp) plans directly against whichever
+// model it is constructed with, and serve::SessionEngine scores every
+// session under one. Models are registered by name in core::qoe_models()
+// (`qoe = ssim` in campaign specs).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abr/qoe.hpp"
+#include "abr/video.hpp"
+
+namespace netadv::abr {
+
+/// Per-chunk quality scores plus penalty weights. Stateless between videos
+/// apart from the manifest binding: call begin_video() before scoring, like
+/// AbrProtocol. Scoring is const (and thread-safe) after begin_video.
+class QoeModel {
+ public:
+  virtual ~QoeModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Bind the model to a video. Table-backed models validate their
+  /// dimensions here (std::invalid_argument names both shapes).
+  virtual void begin_video(const VideoManifest& manifest);
+
+  /// Quality term of chunk `chunk_index` served at `quality`. Throws
+  /// std::out_of_range enumerating the valid ranges on a bad index, and
+  /// std::logic_error before begin_video.
+  virtual double quality_score(std::size_t chunk_index,
+                               std::size_t quality) const = 0;
+
+  /// Penalty per second of stall, in quality_score units.
+  virtual double rebuffer_penalty() const = 0;
+  /// Penalty weight per unit of |quality_score change| between chunks.
+  virtual double smoothness_penalty() const = 0;
+
+  /// One chunk's contribution given the previous chunk's quality score.
+  /// Pass `prev_score == quality_score(chunk_index, quality)` for the first
+  /// chunk (no smoothness charge), matching the total_qoe convention.
+  double chunk_score(std::size_t chunk_index, std::size_t quality,
+                     double rebuffer_s, double prev_score) const;
+
+  /// Whole-playback score from per-chunk quality choices and rebuffer
+  /// times. Same preconditions as total_qoe: equal-size, non-empty spans
+  /// (std::invalid_argument naming both sizes otherwise).
+  double total_score(std::span<const std::size_t> qualities,
+                     std::span<const double> rebuffer_s) const;
+
+ protected:
+  /// The bound manifest; throws std::logic_error before begin_video.
+  const VideoManifest& manifest() const;
+  /// Shared range check behind every quality_score implementation: throws
+  /// std::out_of_range spelling out the valid [0, N) ranges.
+  void check_scored(std::size_t chunk_index, std::size_t quality) const;
+
+ private:
+  const VideoManifest* manifest_ = nullptr;
+};
+
+/// QoE_lin (qoe.hpp) behind the model interface: quality is the nominal
+/// bitrate in Mbps. total_score reproduces total_qoe exactly.
+class LinQoe final : public QoeModel {
+ public:
+  explicit LinQoe(QoeParams params = {}) : params_(params) {}
+
+  std::string name() const override { return "lin"; }
+  double quality_score(std::size_t chunk_index,
+                       std::size_t quality) const override;
+  double rebuffer_penalty() const override { return params_.rebuffer_penalty; }
+  double smoothness_penalty() const override {
+    return params_.smoothness_penalty;
+  }
+
+ private:
+  QoeParams params_;
+};
+
+/// QoE_log (Yin et al. 2015): quality = log(R / R_min), so quality gains
+/// saturate at the top of the ladder. Rebuffer weight 2.66 is the MPC
+/// paper's pairing for the log metric.
+class LogQoe final : public QoeModel {
+ public:
+  struct Params {
+    double rebuffer_penalty = 2.66;
+    double smoothness_penalty = 1.0;
+  };
+
+  LogQoe() : LogQoe(Params{}) {}
+  explicit LogQoe(Params params) : params_(params) {}
+
+  std::string name() const override { return "log"; }
+  double quality_score(std::size_t chunk_index,
+                       std::size_t quality) const override;
+  double rebuffer_penalty() const override { return params_.rebuffer_penalty; }
+  double smoothness_penalty() const override {
+    return params_.smoothness_penalty;
+  }
+
+ private:
+  Params params_;
+};
+
+/// SSIM-in-dB of every (chunk, quality) cell; row `chunk_index`, column
+/// `quality`. The unit is dB (puffer's 10*log10(1/(1-ssim)) transform), but
+/// nothing here depends on that — any per-chunk perceptual table works.
+using SsimTable = std::vector<std::vector<double>>;
+
+/// CSV interchange: header `chunk,q0,...,q<Q-1>`, one row per chunk in
+/// ascending order. Throws std::runtime_error on I/O/format errors,
+/// including out-of-order chunk indices.
+void save_ssim_table(const SsimTable& table, const std::string& path);
+SsimTable load_ssim_table(const std::string& path);
+
+/// A deterministic stand-in table derived from the manifest's encoded chunk
+/// sizes (diminishing-returns dB curve in bits spent), for running the ssim
+/// model without measured data: 5 * log2(1 + chunk_size_bits / 1e6).
+SsimTable synthetic_ssim_table(const VideoManifest& manifest);
+
+/// Table-backed model (puffer's metric). Constructed with a measured table
+/// (dimensions validated against the manifest at begin_video) or without
+/// one, in which case begin_video synthesizes synthetic_ssim_table().
+class SsimTableQoe final : public QoeModel {
+ public:
+  struct Params {
+    double rebuffer_penalty = 8.0;
+    double smoothness_penalty = 1.0;
+  };
+
+  /// Synthetic table derived from the manifest at begin_video.
+  SsimTableQoe() : SsimTableQoe(Params{}) {}
+  explicit SsimTableQoe(Params params) : params_(params) {}
+  /// Explicit (e.g. CSV-loaded) table; must match the manifest's
+  /// num_chunks x num_qualities.
+  explicit SsimTableQoe(SsimTable table)
+      : SsimTableQoe(std::move(table), Params{}) {}
+  SsimTableQoe(SsimTable table, Params params);
+
+  std::string name() const override { return "ssim"; }
+  void begin_video(const VideoManifest& manifest) override;
+  double quality_score(std::size_t chunk_index,
+                       std::size_t quality) const override;
+  double rebuffer_penalty() const override { return params_.rebuffer_penalty; }
+  double smoothness_penalty() const override {
+    return params_.smoothness_penalty;
+  }
+
+  const SsimTable& table() const noexcept { return table_; }
+
+ private:
+  Params params_;
+  SsimTable table_;
+  bool explicit_table_ = false;
+};
+
+}  // namespace netadv::abr

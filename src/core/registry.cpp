@@ -3,7 +3,9 @@
 #include "abr/bb.hpp"
 #include "abr/bola.hpp"
 #include "abr/mpc.hpp"
+#include "abr/mpc_dp.hpp"
 #include "abr/pensieve.hpp"
+#include "abr/qoe_model.hpp"
 #include "abr/throughput_rule.hpp"
 #include "abr/video.hpp"
 #include "cc/bbr.hpp"
@@ -65,6 +67,40 @@ std::unique_ptr<abr::AbrProtocol> make_pensieve(const FactoryArgs& args) {
   return std::make_unique<abr::OwnedPensievePolicy>(agent);
 }
 
+/// `ssim_table = <path>` loads a measured per-chunk table; without it the
+/// model synthesizes a deterministic curve from the manifest's chunk sizes.
+std::unique_ptr<abr::QoeModel> make_ssim_qoe(const FactoryArgs& args) {
+  if (const std::string* table = args.find("ssim_table")) {
+    return std::make_unique<abr::SsimTableQoe>(abr::load_ssim_table(*table));
+  }
+  return std::make_unique<abr::SsimTableQoe>();
+}
+
+Registry<abr::QoeModel> build_qoe_models() {
+  Registry<abr::QoeModel> reg{"qoe model"};
+  const auto abr = TargetDomain::kAbr;
+  reg.add("lin", abr,
+          "QoE_lin: bitrate - 4.3*rebuffer - |bitrate change| (the paper's "
+          "metric)",
+          plain<abr::QoeModel, abr::LinQoe>());
+  reg.add("log", abr,
+          "QoE_log: log(R/R_min) quality term, MPC's concave variant",
+          plain<abr::QoeModel, abr::LogQoe>());
+  reg.add("ssim", abr,
+          "per-chunk SSIM-dB table (ssim_table = <csv>, else a synthetic "
+          "size-derived curve)",
+          make_ssim_qoe);
+  return reg;
+}
+
+/// `qoe = lin | log | ssim` (default lin) selects the model mpc-dp plans
+/// against; extra args (e.g. `ssim_table =`) forward to the model factory.
+std::unique_ptr<abr::AbrProtocol> make_mpc_dp(const FactoryArgs& args) {
+  return std::make_unique<abr::MpcDp>(
+      abr::MpcDp::Params{}, qoe_models().make(args.value_or("qoe", "lin"),
+                                              args));
+}
+
 Registry<abr::AbrProtocol> build_abr_protocols() {
   Registry<abr::AbrProtocol> reg{"protocol"};
   const auto abr = TargetDomain::kAbr;
@@ -74,6 +110,10 @@ Registry<abr::AbrProtocol> build_abr_protocols() {
           plain<abr::AbrProtocol, abr::Bola>());
   reg.add("mpc", abr, "RobustMPC model-predictive controller",
           plain<abr::AbrProtocol, abr::RobustMpc>());
+  reg.add("mpc-dp", abr,
+          "puffer-style DP over a discretized buffer grid (qoe = "
+          "lin|log|ssim)",
+          make_mpc_dp);
   reg.add("throughput", abr, "last-throughput rate matcher",
           plain<abr::AbrProtocol, abr::ThroughputRule>());
   reg.add("pensieve", abr,
@@ -150,6 +190,11 @@ const Registry<trace::TraceGenerator>& trace_generators() {
 
 const InfoRegistry& adversary_kinds() {
   static const InfoRegistry registry = build_adversary_kinds();
+  return registry;
+}
+
+const Registry<abr::QoeModel>& qoe_models() {
+  static const Registry<abr::QoeModel> registry = build_qoe_models();
   return registry;
 }
 

@@ -9,6 +9,7 @@
 //   cc_senders()        name -> cc::CcSender factory       (bbr, cubic, ...)
 //   trace_generators()  name -> trace::TraceGenerator      (fcc, 3g, random)
 //   adversary_kinds()   name -> metadata only              (ppo, cem)
+//   qoe_models()        name -> abr::QoeModel factory      (lin, log, ssim)
 //
 // plus the TargetDomain seam the trainer/recorder/campaign layers dispatch
 // on. Every entry carries (domain, description, factory), so consumers never
@@ -31,6 +32,7 @@
 
 namespace netadv::abr {
 class AbrProtocol;
+class QoeModel;
 }
 namespace netadv::cc {
 class CcSender;
@@ -212,6 +214,11 @@ const Registry<abr::AbrProtocol>& abr_protocols();
 const Registry<cc::CcSender>& cc_senders();
 const Registry<trace::TraceGenerator>& trace_generators();
 const InfoRegistry& adversary_kinds();
+/// QoE scoring models (abr/qoe_model.hpp): `lin` (QoE_lin, the paper's
+/// metric), `log`, and `ssim` (per-chunk table; `ssim_table = <csv>`
+/// selects a measured table, otherwise a deterministic synthetic one).
+/// Campaigns select one with `qoe = <name>`; `mpc-dp` plans against it.
+const Registry<abr::QoeModel>& qoe_models();
 
 /// Resolve a flow-mix spec ("bbr,cubic" / "bbr,bbr,vivace") into per-flow
 /// sender factories via cc_senders(). The mix is what fairness adversaries

@@ -88,6 +88,28 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
              "' needs exactly one of adversaries = ... (attack sweep) or "
              "trace_sets = ... (replay sweep)");
   }
+  // qoe_models turns a replay sweep into a serving sweep: protocols x
+  // qoe_models x trace_sets expand to `serve` jobs instead of `replay`.
+  const std::vector<std::string> qoe_models =
+      util::split_list(grid.value_or("qoe_models", ""));
+  for (const auto& qm : qoe_models) {
+    if (!core::qoe_models().contains(qm)) {
+      fail(spec, section.line,
+           "grid '" + grid.id + "': unknown " +
+               core::qoe_models().category() + " '" + qm + "' (" +
+               core::qoe_models().names() + ")");
+    }
+  }
+  if (!qoe_models.empty() && trace_sets.empty()) {
+    fail(spec, section.line,
+         "grid '" + grid.id + "': qoe_models sweeps sessions over recorded "
+         "traces — pair it with trace_sets = ...");
+  }
+  if (!qoe_models.empty() && flow_mixes_csv != nullptr) {
+    fail(spec, section.line,
+         "grid '" + grid.id + "': qoe_models scores ABR sessions — use "
+         "protocols = ... instead of flow_mixes = ...");
+  }
   std::vector<std::uint64_t> seeds;
   for (const auto& s : util::split_list(grid.value_or("seeds", ""))) {
     seeds.push_back(parse_u64(s, "grid '" + grid.id + "' seeds"));
@@ -179,7 +201,7 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
   std::vector<std::pair<std::string, std::string>> shared;
   for (const auto& [key, value] : grid.params) {
     if (key == "protocols" || key == "adversaries" || key == "seeds" ||
-        key == "trace_sets" || key == "flow_mixes") {
+        key == "trace_sets" || key == "flow_mixes" || key == "qoe_models") {
       continue;
     }
     shared.emplace_back(key, value);
@@ -199,7 +221,42 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
     return flows;
   };
 
+  const std::vector<std::optional<std::uint64_t>> seed_axis =
+      seeds.empty()
+          ? std::vector<std::optional<std::uint64_t>>{std::nullopt}
+          : [&] {
+              std::vector<std::optional<std::uint64_t>> axis;
+              for (const auto s : seeds) axis.emplace_back(s);
+              return axis;
+            }();
+
   if (!trace_sets.empty()) {
+    if (!qoe_models.empty()) {
+      // Serving sweep: protocols x qoe_models x trace_sets x seeds, each
+      // point one `serve` job multiplexing sessions over the recorded set.
+      for (const auto& protocol : protocols) {
+        for (const auto& qm : qoe_models) {
+          for (const auto& set : trace_sets) {
+            for (const auto& seed : seed_axis) {
+              const std::string tag =
+                  seed.has_value() ? "-s" + std::to_string(*seed) : "";
+              JobSpec job;
+              job.id = grid.id + "-" + protocol + "-" + qm + "-on-" + set + tag;
+              job.kind = "serve";
+              job.after = grid.after;
+              job.after.push_back(set);
+              job.params = shared;
+              job.params.emplace_back("protocol", protocol);
+              job.params.emplace_back("qoe", qm);
+              job.params.emplace_back("traces", set);
+              job.seed = seed;
+              emit(std::move(job));
+            }
+          }
+        }
+      }
+      return expanded_ids;
+    }
     // Replay sweep: targets x trace_sets (a target is one protocol, or one
     // whole flow mix replaying each trace together).
     for (const auto& protocol : protocols) {
@@ -235,14 +292,6 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
     // Fairness attack sweep: flow_mixes x adversaries x seeds. Every
     // fairness kind is PPO-trained, so each point is a train-adversary job
     // feeding a record-traces job (mirroring the ppo branch below).
-    const std::vector<std::optional<std::uint64_t>> seed_axis =
-        seeds.empty()
-            ? std::vector<std::optional<std::uint64_t>>{std::nullopt}
-            : [&] {
-                std::vector<std::optional<std::uint64_t>> axis;
-                for (const auto s : seeds) axis.emplace_back(s);
-                return axis;
-              }();
     for (const auto& mix : flow_mixes) {
       for (const auto& adversary : adversaries) {
         for (const auto& seed : seed_axis) {
@@ -280,14 +329,6 @@ std::vector<std::string> expand_grid(const util::SpecFile& spec,
   // Attack sweep: protocols x adversaries x seeds. A PPO point is a
   // train-adversary job feeding a record-traces job; a CEM point records
   // directly (CEM is trace-based — searching *is* recording).
-  const std::vector<std::optional<std::uint64_t>> seed_axis =
-      seeds.empty()
-          ? std::vector<std::optional<std::uint64_t>>{std::nullopt}
-          : [&] {
-              std::vector<std::optional<std::uint64_t>> axis;
-              for (const auto s : seeds) axis.emplace_back(s);
-              return axis;
-            }();
   for (const auto& protocol : protocols) {
     for (const auto& adversary : adversaries) {
       for (const auto& seed : seed_axis) {

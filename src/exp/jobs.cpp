@@ -20,6 +20,7 @@
 #include "core/registry.hpp"
 #include "core/trainer.hpp"
 #include "rl/checkpoint.hpp"
+#include "serve/engine.hpp"
 #include "trace/generators.hpp"
 #include "trace/trace.hpp"
 #include "util/config.hpp"
@@ -563,6 +564,67 @@ JobResult run_replay(const JobContext& ctx) {
   return result;
 }
 
+JobResult run_serve(const JobContext& ctx) {
+  const std::string* set_job = ctx.job->find("traces");
+  std::string set_path;
+  if (set_job != nullptr) {
+    set_path = ctx.input_ending_with(*set_job, "_traces.csv");
+  } else if (const std::string* file = ctx.job->find("trace_file")) {
+    set_path = *file;
+  } else {
+    job_fail(ctx, "serve needs traces = <trace-set job> or trace_file = ...");
+  }
+  std::vector<trace::Trace> traces = trace::load_trace_set(set_path);
+
+  const std::string qoe_name = ctx.job->value_or("qoe", "lin");
+  std::unique_ptr<abr::QoeModel> qoe;
+  try {
+    qoe = core::qoe_models().make(qoe_name, target_args(ctx));
+  } catch (const std::exception& e) {
+    job_fail(ctx, e.what());
+  }
+
+  const std::size_t sessions = scaled_count(size_param(ctx, "sessions", 100));
+  const std::string protocol = ctx.job->value_or("protocol", "");
+  serve::SessionEngine engine{job_manifest(), std::move(traces)};
+  serve::ServeStats stats;
+  std::vector<serve::SessionSummary> summaries;
+  if (protocol == "pensieve" && ctx.job->value_or("batch", "on") != "off") {
+    // Batched inference: one act_deterministic_batch per tick. Decisions are
+    // bit-identical to the per-session path, so `batch = off` changes only
+    // throughput, never the artifact.
+    const core::FactoryArgs args = target_args(ctx);
+    const std::string* checkpoint = args.find("checkpoint");
+    if (checkpoint == nullptr) {
+      job_fail(ctx, "protocol 'pensieve' needs checkpoint = <path> or "
+                    "checkpoint_from = <robustify-round job>");
+    }
+    rl::PpoAgent agent = abr::make_pensieve_agent(engine.manifest(),
+                                                  /*seed=*/0);
+    rl::load_checkpoint(agent, *checkpoint);
+    serve::PensieveBatchPolicy policy{agent};
+    summaries = engine.run(policy, *qoe, sessions, ctx.pool, &stats);
+  } else {
+    summaries = engine.run(abr_target_factory(ctx), *qoe, sessions, ctx.pool,
+                           &stats);
+  }
+
+  double qoe_total = 0.0;
+  for (const serve::SessionSummary& s : summaries) qoe_total += s.qoe;
+  JobResult result;
+  result.artifacts.push_back(ctx.artifact("_sessions.csv"));
+  serve::save_session_summaries(summaries, result.artifacts.back());
+  char note[160];
+  std::snprintf(note, sizeof note,
+                "%zu sessions x %zu traces, mean %s QoE %.2f (%.0f "
+                "decisions/s)",
+                summaries.size(), engine.traces().size(), qoe->name().c_str(),
+                qoe_total / static_cast<double>(summaries.size()),
+                stats.decisions_per_s());
+  result.note = note;
+  return result;
+}
+
 /// `key = <generator>` resolved against the registry, with the param name in
 /// the failure so grid/round specs pinpoint the bad line.
 std::unique_ptr<trace::TraceGenerator> generator_param(
@@ -677,6 +739,10 @@ JobRegistry builtin_jobs() {
                "replay a recorded trace set against a protocol/sender "
                "(traces =)",
                run_replay);
+  registry.add("serve",
+               "multiplex N concurrent sessions through serve::SessionEngine "
+               "(protocol =, qoe =, sessions =, traces =)",
+               run_serve);
   registry.add("robustify-round",
                "one Section-2.3 adversarial-training round of Pensieve",
                run_robustify_round);

@@ -27,6 +27,12 @@
 //                    -> <id>_qoe.csv (QoE per trace)
 //                    domain=cc  protocol=...  traces=<trace-set job>
 //                    -> <id>_replay.csv (utilization + throughput per trace)
+//   serve            protocol=<abr_protocols()>  qoe=<qoe_models()>
+//                    sessions=N  traces=<trace-set job> (or trace_file=)
+//                    [batch=off to force per-session pensieve forwards]
+//                    -> <id>_sessions.csv (per-session summaries via
+//                       serve::SessionEngine; deterministic — throughput
+//                       numbers only appear in the job note)
 //   robustify-round  one Section-2.3 round: continue Pensieve from
 //                    init=<prev round> (or fresh), train an adversary
 //                    against it, record traces, retrain on the augmented

@@ -1,0 +1,26 @@
+#include "serve/batch_policy.hpp"
+
+#include <stdexcept>
+
+namespace netadv::serve {
+
+std::vector<std::size_t> PensieveBatchPolicy::choose_batch(
+    std::span<const abr::AbrObservation* const> observations) {
+  if (manifest_ == nullptr) {
+    throw std::logic_error{"PensieveBatchPolicy: begin_serving not called"};
+  }
+  std::vector<rl::Vec> features;
+  features.reserve(observations.size());
+  for (const abr::AbrObservation* obs : observations) {
+    features.push_back(abr::pensieve_features(*obs, *manifest_));
+  }
+  const std::vector<rl::Vec> actions = agent_.act_deterministic_batch(features);
+  std::vector<std::size_t> qualities;
+  qualities.reserve(actions.size());
+  for (const rl::Vec& action : actions) {
+    qualities.push_back(static_cast<std::size_t>(action[0]));
+  }
+  return qualities;
+}
+
+}  // namespace netadv::serve

@@ -5,9 +5,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "abr/bb.hpp"
 #include "abr/mpc.hpp"
+#include "abr/mpc_dp.hpp"
+#include "abr/qoe_model.hpp"
 #include "abr/optimal.hpp"
 #include "abr/qoe.hpp"
 #include "abr/runner.hpp"
@@ -134,6 +141,171 @@ TEST(Qoe, RejectsBadSpans) {
   const std::vector<double> r{1.0};
   const std::vector<double> t;
   EXPECT_THROW(total_qoe(r, t), std::invalid_argument);
+}
+
+TEST(Qoe, BadSpanErrorsNameBothSizes) {
+  const std::vector<double> r{1.0, 2.0};
+  const std::vector<double> t{0.0, 0.0, 0.0};
+  try {
+    total_qoe(r, t);
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 bitrates"), std::string::npos) << what;
+    EXPECT_NE(what.find("3 rebuffer entries"), std::string::npos) << what;
+  }
+  EXPECT_THROW(total_qoe({}, {}), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- qoe models
+
+TEST(QoeModel, LinTotalScoreMatchesTotalQoeExactly) {
+  const VideoManifest m = exact_manifest();
+  LinQoe lin;
+  lin.begin_video(m);
+  const std::vector<std::size_t> qualities{0, 3, 2, 5, 5};
+  const std::vector<double> rebuffers{1.0, 0.0, 0.5, 0.0, 0.25};
+  std::vector<double> bitrates;
+  for (const std::size_t q : qualities) bitrates.push_back(m.bitrate_mbps(q));
+  EXPECT_DOUBLE_EQ(lin.total_score(qualities, rebuffers),
+                   total_qoe(bitrates, rebuffers));
+  EXPECT_DOUBLE_EQ(lin.quality_score(0, 5), 4.3);
+  EXPECT_DOUBLE_EQ(lin.rebuffer_penalty(), 4.3);
+}
+
+TEST(QoeModel, ScoringBeforeBeginVideoIsALogicError) {
+  LinQoe lin;
+  EXPECT_THROW(lin.quality_score(0, 0), std::logic_error);
+  LogQoe log;
+  EXPECT_THROW(log.total_score(std::vector<std::size_t>{0},
+                               std::vector<double>{0.0}),
+               std::logic_error);
+}
+
+TEST(QoeModel, OutOfRangeErrorsEnumerateTheValidRanges) {
+  const VideoManifest m = exact_manifest();  // 48 chunks x 6 qualities
+  SsimTableQoe ssim;
+  ssim.begin_video(m);
+  try {
+    ssim.quality_score(48, 0);
+    FAIL() << "expected throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("chunk 48 out of range [0, 48)"), std::string::npos)
+        << what;
+  }
+  try {
+    ssim.quality_score(0, 6);
+    FAIL() << "expected throw";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("quality 6 out of range [0, 6)"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(QoeModel, LogIsZeroAtTheFloorAndConcave) {
+  const VideoManifest m = exact_manifest();
+  LogQoe log;
+  log.begin_video(m);
+  EXPECT_DOUBLE_EQ(log.quality_score(0, 0), 0.0);
+  // Monotone in quality, with diminishing returns (concavity).
+  double prev_score = 0.0;
+  double prev_gain = std::numeric_limits<double>::infinity();
+  for (std::size_t q = 1; q < m.num_qualities(); ++q) {
+    const double score = log.quality_score(0, q);
+    const double gain = score - prev_score;
+    EXPECT_GT(gain, 0.0) << q;
+    EXPECT_LT(gain, prev_gain) << q;
+    prev_score = score;
+    prev_gain = gain;
+  }
+}
+
+// A table whose every row equals the bitrate ladder reduces the ssim model
+// to QoE_lin (given lin's penalty weights): the table seam changes the
+// quality axis, not the scoring structure.
+TEST(QoeModel, BitrateIdentityTableReproducesQoeLin) {
+  const VideoManifest m = exact_manifest();
+  SsimTable table(m.num_chunks(), std::vector<double>(m.num_qualities()));
+  for (auto& row : table) {
+    for (std::size_t q = 0; q < m.num_qualities(); ++q) {
+      row[q] = m.bitrate_mbps(q);
+    }
+  }
+  SsimTableQoe ssim{std::move(table),
+                    SsimTableQoe::Params{.rebuffer_penalty = 4.3,
+                                         .smoothness_penalty = 1.0}};
+  ssim.begin_video(m);
+  const std::vector<std::size_t> qualities{1, 4, 4, 0, 2};
+  const std::vector<double> rebuffers{0.0, 0.0, 1.5, 0.0, 0.0};
+  std::vector<double> bitrates;
+  for (const std::size_t q : qualities) bitrates.push_back(m.bitrate_mbps(q));
+  EXPECT_DOUBLE_EQ(ssim.total_score(qualities, rebuffers),
+                   total_qoe(bitrates, rebuffers));
+}
+
+TEST(QoeModel, SyntheticSsimTableIsMonotoneInQuality) {
+  const VideoManifest m = exact_manifest();
+  const SsimTable table = synthetic_ssim_table(m);
+  ASSERT_EQ(table.size(), m.num_chunks());
+  for (const auto& row : table) {
+    ASSERT_EQ(row.size(), m.num_qualities());
+    for (std::size_t q = 1; q < row.size(); ++q) {
+      EXPECT_GT(row[q], row[q - 1]);  // more bits, better picture
+    }
+  }
+}
+
+TEST(QoeModel, SsimTableCsvRoundTrips) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "netadv_qoe_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string path = dir + "/table.csv";
+  const VideoManifest m = exact_manifest();
+  const SsimTable table = synthetic_ssim_table(m);
+  save_ssim_table(table, path);
+  const SsimTable loaded = load_ssim_table(path);
+  ASSERT_EQ(loaded.size(), table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    ASSERT_EQ(loaded[i].size(), table[i].size()) << i;
+    for (std::size_t q = 0; q < table[i].size(); ++q) {
+      EXPECT_NEAR(loaded[i][q], table[i][q],
+                  1e-5 * std::abs(table[i][q]) + 1e-9);
+    }
+  }
+  // Loaded tables drive the model end to end.
+  SsimTableQoe qoe{loaded};
+  qoe.begin_video(m);
+  EXPECT_NEAR(qoe.quality_score(0, 3), table[0][3],
+              1e-5 * std::abs(table[0][3]));
+}
+
+TEST(QoeModel, SsimTableLoadRejectsBadHeaderAndOrder) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "netadv_qoe_test").string();
+  std::filesystem::create_directories(dir);
+  const std::string bad_header = dir + "/bad_header.csv";
+  std::ofstream{bad_header} << "idx,q0\n0,1.0\n";
+  EXPECT_THROW(load_ssim_table(bad_header), std::runtime_error);
+  const std::string out_of_order = dir + "/out_of_order.csv";
+  std::ofstream{out_of_order} << "chunk,q0\n1,1.0\n0,2.0\n";
+  EXPECT_THROW(load_ssim_table(out_of_order), std::runtime_error);
+  EXPECT_THROW(load_ssim_table(dir + "/missing.csv"), std::runtime_error);
+  EXPECT_THROW(save_ssim_table({}, dir + "/empty.csv"), std::runtime_error);
+}
+
+TEST(QoeModel, SsimTableDimensionMismatchNamesBothShapes) {
+  SsimTableQoe qoe{SsimTable{{1.0, 2.0}, {1.0, 2.0}}};  // 2 x 2
+  try {
+    qoe.begin_video(exact_manifest());  // 48 x 6
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 x 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("48 chunks x 6 qualities"), std::string::npos) << what;
+  }
+  EXPECT_THROW(SsimTableQoe{SsimTable{}}, std::invalid_argument);
 }
 
 // ---------------------------------------------------------------- sim
@@ -356,6 +528,86 @@ TEST(RobustMpc, RequiresBeginVideo) {
   RobustMpc mpc;
   AbrObservation obs;
   EXPECT_THROW(mpc.choose_quality(obs), std::logic_error);
+}
+
+// ---------------------------------------------------------------- mpc-dp
+
+TEST(MpcDp, PredictorMatchesRobustMpc) {
+  const VideoManifest m;
+  MpcDp dp{{.robust = false}, std::make_unique<LinQoe>()};
+  dp.begin_video(m);
+  AbrObservation obs;
+  obs.throughput_history_mbps = {1.0, 2.0, 4.0};
+  EXPECT_NEAR(dp.predicted_throughput_mbps(obs), 12.0 / 7.0, 1e-9);
+}
+
+TEST(MpcDp, PicksHighRateOnFastStableLink) {
+  const VideoManifest m = exact_manifest();
+  MpcDp dp;
+  const PlaybackRecord record = run_playback(dp, m, constant_trace(4.8));
+  int high = 0;
+  for (std::size_t i = 8; i < record.chunks.size(); ++i) {
+    if (record.chunks[i].bitrate_mbps >= 2.85) ++high;
+  }
+  EXPECT_GT(high, 35);
+  EXPECT_NEAR(record.total_rebuffer_s, 0.0, 0.5);
+}
+
+TEST(MpcDp, PicksLowRateOnSlowLink) {
+  const VideoManifest m = exact_manifest();
+  MpcDp dp;
+  const PlaybackRecord record = run_playback(dp, m, constant_trace(0.4));
+  for (std::size_t i = 4; i < record.chunks.size(); ++i) {
+    EXPECT_LE(record.chunks[i].bitrate_mbps, 0.75);
+  }
+}
+
+// mpc-dp solves the same lookahead as RobustMpc by value iteration instead
+// of Q^H enumeration; under QoE_lin on benign links the two must land in
+// the same QoE neighborhood (the DP's buffer discretization allows small
+// deviations, not a different operating point).
+TEST(MpcDp, TracksRobustMpcQoeOnBenignLinks) {
+  const VideoManifest m = exact_manifest();
+  for (const double bw : {0.8, 1.6, 3.0, 4.8}) {
+    RobustMpc mpc;
+    MpcDp dp;
+    const Trace t = constant_trace(bw);
+    const PlaybackRecord a = run_playback(mpc, m, t);
+    const PlaybackRecord b = run_playback(dp, m, t);
+    // Within 15% of the enumerating planner's QoE (plus slack for the
+    // near-zero crossings at low bandwidths).
+    EXPECT_NEAR(b.total_qoe, a.total_qoe,
+                0.15 * std::abs(a.total_qoe) + 5.0)
+        << "bandwidth " << bw;
+  }
+}
+
+TEST(MpcDp, PlansAgainstTheConstructedQoeModel) {
+  // A model that hates smoothness changes must switch no more often than
+  // the lin-planning default on an oscillating link.
+  const VideoManifest m = exact_manifest();
+  Trace t;
+  for (int i = 0; i < 48; ++i) {
+    t.append({4.0, i % 2 == 0 ? 4.0 : 1.2, 80.0, 0.0});
+  }
+  MpcDp lin_dp;
+  SsimTableQoe::Params sticky;
+  sticky.smoothness_penalty = 50.0;
+  MpcDp sticky_dp{{}, std::make_unique<SsimTableQoe>(sticky)};
+  const PlaybackRecord a = run_playback(lin_dp, m, t);
+  const PlaybackRecord b = run_playback(sticky_dp, m, t);
+  EXPECT_LE(b.quality_switches, a.quality_switches);
+  EXPECT_EQ(sticky_dp.qoe().name(), "ssim");
+}
+
+TEST(MpcDp, ValidatesParamsAndRequiresBeginVideo) {
+  EXPECT_THROW((MpcDp{{.horizon = 0}, std::make_unique<LinQoe>()}),
+               std::invalid_argument);
+  EXPECT_THROW((MpcDp{{.buffer_levels = 0}, std::make_unique<LinQoe>()}),
+               std::invalid_argument);
+  MpcDp dp;
+  AbrObservation obs;
+  EXPECT_THROW(dp.choose_quality(obs), std::logic_error);
 }
 
 // ---------------------------------------------------------------- optimal

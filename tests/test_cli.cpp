@@ -124,6 +124,48 @@ TEST(Cli, EvalOnMissingTraceIsARuntimeError) {
   EXPECT_NE(output.find("error:"), std::string::npos);
 }
 
+TEST(Cli, ListQoeModelsCategory) {
+  std::string output;
+  ASSERT_EQ(run_cli("list qoe", &output), 0);
+  EXPECT_NE(output.find("QoE models:"), std::string::npos);
+  for (const char* name : {"lin", "log", "ssim"}) {
+    EXPECT_NE(output.find(name), std::string::npos) << name;
+  }
+  EXPECT_EQ(output.find("ABR protocols:"), std::string::npos);
+  // The bare `list` includes the QoE table too (docs_lint diffs it against
+  // README's registry block).
+  std::string all;
+  ASSERT_EQ(run_cli("list", &all), 0);
+  EXPECT_NE(all.find("QoE models:"), std::string::npos);
+  EXPECT_NE(all.find("mpc-dp"), std::string::npos);
+}
+
+TEST(Cli, ServeRunsSessionsAndWritesSummaries) {
+  const std::string prefix = out_dir() + "/serve";
+  ASSERT_EQ(run_cli("gen fcc 1 " + prefix), 0);
+  const std::string out = out_dir() + "/serve_sessions.csv";
+  std::string output;
+  ASSERT_EQ(
+      run_cli("serve mpc-dp ssim 4 " + prefix + "_0.csv " + out, &output), 0);
+  EXPECT_NE(output.find("mean QoE"), std::string::npos);
+  EXPECT_NE(output.find("decisions/s"), std::string::npos);
+  ASSERT_TRUE(std::filesystem::exists(out));
+  std::ifstream in{out};
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header,
+            "session,trace,chunks,qoe,qoe_lin,rebuffer_s,mean_bitrate_mbps,"
+            "quality_switches");
+}
+
+TEST(Cli, ServeValidatesNamesAndArity) {
+  EXPECT_EQ(run_cli("serve bb"), 2);
+  EXPECT_EQ(run_cli("serve warp lin 4 /dev/null"), 2);
+  EXPECT_EQ(run_cli("serve bb vmaf 4 /dev/null"), 2);
+  // Known names but a missing trace: runtime error, not usage.
+  EXPECT_EQ(run_cli("serve bb lin 4 /tmp/netadv_no_such_trace.csv"), 1);
+}
+
 TEST(Cli, MahimahiExportRoundTrips) {
   const std::string prefix = out_dir() + "/mm";
   ASSERT_EQ(run_cli("gen 3g 1 " + prefix), 0);

@@ -237,6 +237,57 @@ TEST(Campaign, GridExpandsCcSweepsAndForwardsDomain) {
   EXPECT_EQ(c.jobs[record].value_or("domain", ""), "cc");
 }
 
+TEST(Campaign, GridExpandsQoeServingSweeps) {
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = x\nout_dir = /tmp/x\n"
+      "[job corpus]\nkind = gen-traces\ngenerator = fcc\ncount = 4\n"
+      "[job sweep]\nkind = grid\nprotocols = bb, mpc-dp\n"
+      "qoe_models = lin, ssim\ntrace_sets = corpus\nseeds = 1, 2\n"
+      "sessions = 32\n");
+  // corpus + 2 protocols x 2 models x 1 set x 2 seeds.
+  ASSERT_EQ(c.jobs.size(), 9u);
+  const std::size_t serve = c.job_index("sweep-mpc-dp-ssim-on-corpus-s2");
+  ASSERT_NE(serve, static_cast<std::size_t>(-1));
+  EXPECT_EQ(c.jobs[serve].kind, "serve");
+  EXPECT_EQ(c.jobs[serve].value_or("protocol", ""), "mpc-dp");
+  EXPECT_EQ(c.jobs[serve].value_or("qoe", ""), "ssim");
+  EXPECT_EQ(c.jobs[serve].value_or("traces", ""), "corpus");
+  EXPECT_EQ(c.jobs[serve].seed, 2u);
+  // Shared params forward to every point.
+  EXPECT_EQ(c.jobs[serve].value_or("sessions", ""), "32");
+  ASSERT_EQ(c.jobs[serve].after.size(), 1u);
+  EXPECT_EQ(c.jobs[serve].after[0], "corpus");
+}
+
+TEST(Campaign, GridValidatesQoeModelsAtLoadTime) {
+  // Unknown model names fail with the registry's enumerating error...
+  try {
+    campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                  "[job t]\nkind = gen-traces\ngenerator = fcc\n"
+                  "[job g]\nkind = grid\nprotocols = bb\n"
+                  "qoe_models = vmaf\ntrace_sets = t\n");
+    FAIL() << "unknown qoe model must fail at load time";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("unknown qoe model 'vmaf'"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("lin | log | ssim"), std::string::npos) << what;
+  }
+  // ...a serving sweep needs traces to serve...
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                    "[job g]\nkind = grid\nprotocols = bb\n"
+                    "qoe_models = lin\n"),
+      std::runtime_error);
+  // ...and flow mixes are cc-side: no QoE model applies.
+  EXPECT_THROW(
+      campaign_from("[campaign]\nname = x\nout_dir = /tmp/x\n"
+                    "[job t]\nkind = gen-traces\ngenerator = fcc\n"
+                    "[job g]\nkind = grid\nflow_mixes = bbr+cubic\n"
+                    "qoe_models = lin\ntrace_sets = t\ndomain = cc\n"),
+      std::runtime_error);
+}
+
 TEST(Campaign, SeedsAreDeterministicAndOverridable) {
   const exp::Campaign c = campaign_from(
       "[campaign]\nname = x\nseed = 9\nout_dir = /tmp/x\n"
@@ -498,6 +549,84 @@ TEST(BuiltinJobs, GenReplayPipelineProducesQoePerTrace) {
   EXPECT_NE(qoe.find("trace,qoe"), std::string::npos);
 }
 
+/// gen-traces feeding a qoe_models serving grid: the campaign-level route
+/// into serve::SessionEngine.
+std::string serve_pipeline_spec(const std::string& dir) {
+  return "[campaign]\nname = serve-e2e\nseed = 5\nout_dir = " + dir + "\n"
+         "[job corpus]\nkind = gen-traces\ngenerator = fcc\ncount = 3\n"
+         "[job sweep]\nkind = grid\nprotocols = bb, mpc-dp\n"
+         "qoe_models = lin, ssim\ntrace_sets = corpus\nsessions = 6\n";
+}
+
+TEST(BuiltinJobs, ServeCampaignRunsEndToEnd) {
+  const std::string dir = temp_dir("netadv_builtin_serve");
+  const exp::CampaignReport report = exp::run_campaign(
+      campaign_from(serve_pipeline_spec(dir)), exp::builtin_jobs());
+  ASSERT_TRUE(report.ok());
+  for (const char* name :
+       {"sweep-bb-lin-on-corpus", "sweep-bb-ssim-on-corpus",
+        "sweep-mpc-dp-lin-on-corpus", "sweep-mpc-dp-ssim-on-corpus"}) {
+    const std::string csv =
+        read_file(dir + "/" + std::string{name} + "_sessions.csv");
+    EXPECT_NE(csv.find("session,trace,chunks,qoe,qoe_lin"), std::string::npos)
+        << name;
+    // Throughput numbers live in the note, never in the artifact.
+    EXPECT_NE(report.outcome_of(name).result.note.find("decisions/s"),
+              std::string::npos)
+        << name;
+  }
+}
+
+TEST(BuiltinJobs, ServeArtifactsAreIdenticalAcrossThreadCounts) {
+  const std::string base = temp_dir("netadv_builtin_serve_t1");
+  exp::run_campaign(campaign_from(serve_pipeline_spec(base)),
+                    exp::builtin_jobs());
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::string dir =
+        temp_dir("netadv_builtin_serve_t" + std::to_string(threads));
+    util::ThreadPool pool{threads};
+    exp::SchedulerOptions options;
+    options.pool = &pool;
+    exp::run_campaign(campaign_from(serve_pipeline_spec(dir)),
+                      exp::builtin_jobs(), options);
+    for (const char* name :
+         {"sweep-bb-lin-on-corpus_sessions.csv",
+          "sweep-mpc-dp-ssim-on-corpus_sessions.csv"}) {
+      EXPECT_EQ(read_file(base + "/" + name), read_file(dir + "/" + name))
+          << name << " differs at " << threads << " threads";
+    }
+  }
+}
+
+TEST(BuiltinJobs, ServeJobFailsWithEnumeratingErrors) {
+  // Unknown QoE model: the job fails with the registry's enumerating error
+  // before any artifact exists.
+  const std::string dir = temp_dir("netadv_builtin_serve_bad");
+  const exp::Campaign c = campaign_from(
+      "[campaign]\nname = bad\nout_dir = " + dir + "\n"
+      "[job corpus]\nkind = gen-traces\ngenerator = fcc\ncount = 2\n"
+      "[job s]\nkind = serve\nafter = corpus\ntraces = corpus\n"
+      "protocol = bb\nqoe = vmaf\nsessions = 4\n");
+  const exp::CampaignReport report = exp::run_campaign(c, exp::builtin_jobs());
+  EXPECT_FALSE(report.ok());
+  const std::string& error = report.outcome_of("s").error;
+  EXPECT_NE(error.find("unknown qoe model 'vmaf'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("lin | log | ssim"), std::string::npos) << error;
+  EXPECT_FALSE(std::filesystem::exists(dir + "/s_sessions.csv"));
+
+  // No trace source at all: the error names both accepted spellings.
+  const std::string dir2 = temp_dir("netadv_builtin_serve_notraces");
+  const exp::CampaignReport report2 = exp::run_campaign(
+      campaign_from("[campaign]\nname = bad2\nout_dir = " + dir2 + "\n"
+                    "[job s]\nkind = serve\nprotocol = bb\nsessions = 4\n"),
+      exp::builtin_jobs());
+  EXPECT_FALSE(report2.ok());
+  EXPECT_NE(report2.outcome_of("s").error.find("trace_file"),
+            std::string::npos)
+      << report2.outcome_of("s").error;
+}
+
 // A bad target name must fail the job before any artifact exists (the
 // factory is resolved once, up front — not once per trace mid-CSV), and the
 // error must enumerate the live registry, not a hand-maintained list.
@@ -511,7 +640,7 @@ TEST(BuiltinJobs, UnknownTargetFailsBeforeAnyArtifactIsWritten) {
   EXPECT_FALSE(report.ok());
   const std::string& error = report.outcome_of("rec").error;
   EXPECT_NE(error.find("unknown protocol 'warp'"), std::string::npos);
-  EXPECT_NE(error.find("bb | bola | mpc | throughput | pensieve"),
+  EXPECT_NE(error.find("bb | bola | mpc | mpc-dp | throughput | pensieve"),
             std::string::npos)
       << error;
   EXPECT_FALSE(std::filesystem::exists(dir + "/rec_traces.csv"));

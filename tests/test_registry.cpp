@@ -11,6 +11,7 @@
 
 #include "abr/pensieve.hpp"
 #include "abr/protocol.hpp"
+#include "abr/qoe_model.hpp"
 #include "abr/runner.hpp"
 #include "abr/video.hpp"
 #include "cc/sender.hpp"
@@ -39,7 +40,7 @@ TEST(Registry, DomainRoundTripsAndRejectsUnknownSpellings) {
 
 TEST(Registry, LiveRegistriesServeTheExpectedEntries) {
   EXPECT_EQ(core::abr_protocols().names(),
-            "bb | bola | mpc | throughput | pensieve");
+            "bb | bola | mpc | mpc-dp | throughput | pensieve");
   EXPECT_EQ(core::cc_senders().names(), "bbr | cubic | copa | vivace | reno");
   EXPECT_EQ(core::trace_generators().names("|"), "fcc|3g|random");
   EXPECT_EQ(core::adversary_kinds().names(),
@@ -65,6 +66,43 @@ TEST(Registry, LiveRegistriesServeTheExpectedEntries) {
     EXPECT_EQ(core::adversary_kinds().info(kind)->domain,
               core::TargetDomain::kCc);
     EXPECT_FALSE(core::adversary_kinds().info(kind)->description.empty());
+  }
+}
+
+TEST(Registry, QoeModelsServeLinLogSsim) {
+  EXPECT_EQ(core::qoe_models().names(), "lin | log | ssim");
+  EXPECT_EQ(core::qoe_models().category(), "qoe model");
+  for (const char* name : {"lin", "log", "ssim"}) {
+    ASSERT_NE(core::qoe_models().info(name), nullptr) << name;
+    EXPECT_EQ(core::qoe_models().info(name)->domain, core::TargetDomain::kAbr);
+    EXPECT_FALSE(core::qoe_models().info(name)->description.empty());
+    EXPECT_EQ(core::qoe_models().make(name)->name(), name);
+  }
+  try {
+    core::qoe_models().make("vmaf");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "unknown qoe model 'vmaf' (lin | log | ssim)");
+  }
+}
+
+TEST(Registry, MpcDpEntryForwardsTheQoeSelection) {
+  // Default plans against QoE_lin...
+  const auto dflt = core::abr_protocols().make("mpc-dp");
+  EXPECT_EQ(dflt->name(), "mpc-dp");
+  // ...and `qoe = <model>` forwards to the qoe_models registry.
+  core::FactoryArgs args;
+  args.set("qoe", "ssim");
+  EXPECT_NE(core::abr_protocols().make("mpc-dp", args), nullptr);
+  core::FactoryArgs bad;
+  bad.set("qoe", "vmaf");
+  try {
+    core::abr_protocols().make("mpc-dp", bad);
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find("unknown qoe model 'vmaf'"),
+              std::string::npos)
+        << e.what();
   }
 }
 
@@ -101,8 +139,8 @@ TEST(Registry, UnknownNamesReturnNullOrThrowEnumeratingTheRegistry) {
     FAIL() << "expected throw";
   } catch (const std::runtime_error& e) {
     EXPECT_STREQ(e.what(),
-                 "unknown protocol 'nope' (bb | bola | mpc | throughput | "
-                 "pensieve)");
+                 "unknown protocol 'nope' (bb | bola | mpc | mpc-dp | "
+                 "throughput | pensieve)");
   }
   // factory() resolves up front: the throw happens here, not on first call.
   EXPECT_THROW(core::cc_senders().factory("nope"), std::runtime_error);

@@ -64,7 +64,7 @@ fi
 if [ -n "${NETADV_CLI:-}" ] && [ -x "${NETADV_CLI:-}" ]; then
   doc_names="$(sed -n '/registry-table-begin/,/registry-table-end/p' "$readme" |
                sed -n 's/^| `\([a-z0-9_-]*\)`.*/\1/p' | sort -u)"
-  live_names="$("$NETADV_CLI" list protocols senders generators adversaries |
+  live_names="$("$NETADV_CLI" list protocols senders generators adversaries qoe |
                 awk '/^  / { print $1 }' | sort -u)"
   if [ -z "$doc_names" ]; then
     echo "docs-lint: README.md has no registry-table-begin/-end block" >&2
